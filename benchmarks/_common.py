@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper on the
+simulated cluster, prints it side by side with the paper's reported
+numbers, and persists the report under ``benchmarks/results/``. The
+assertions check *shape* — who wins, where crossovers fall, rough
+factors — not absolute milliseconds (our substrate is a simulator, not
+the authors' 256-GPU testbed).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def save_report(name: str, lines: Iterable[str]) -> str:
+    """Print a report and persist it under benchmarks/results/."""
+    text = "\n".join(lines)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print("\n" + text)
+    return text
+
+
+def table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> List[str]:
+    """Render a fixed-width text table."""
+    cols = [[str(h)] + [str(r[i]) for r in rows] for i, h in enumerate(headers)]
+    widths = [max(len(v) for v in col) for col in cols]
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    out = [fmt.format(*headers)]
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(fmt.format(*(str(v) for v in row)) for row in rows)
+    return out

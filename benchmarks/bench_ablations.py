@@ -1,0 +1,224 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* **protocols** — where the LL / LL128 / Simple crossovers fall (the
+  trade-off of §5.1 that the autotuner exploits);
+* **channels** — channel count vs achieved collective time (§5.1);
+* **overlap granularity** — chunk count vs overlap benefit (Figure 9's
+  knob: too few chunks serialize, too many pay per-chunk sync);
+* **bucket size** — scattered-tensor bucket size vs metadata overhead
+  and lookup behaviour (§5.4's 2^10-element choice).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import save_report, table
+from repro.cluster import Cluster
+from repro.core import FP16, RANK, AllReduce, Execute, MatMul, Sliced, Tensor, world
+from repro.core.process_group import world as make_world
+from repro.core.transforms import Schedule
+from repro.nccl import ALL_PROTOCOLS, build_ring, collective_time
+from repro.nccl.cost_model import Algorithm
+from repro.perf import ProgramCostModel
+from repro.scattered.bucketing import BUCKET_METADATA_BYTES
+
+
+# --------------------------------------------------------------------------
+# Ablation 1: protocol crossovers
+# --------------------------------------------------------------------------
+
+def run_protocol_ablation():
+    cluster = Cluster(16)
+    ring = build_ring(cluster, make_world(256))
+    rows = {}
+    for exp in range(10, 31, 2):
+        nbytes = 2 * 2**exp
+        rows[exp] = {
+            p.name: collective_time(
+                "allreduce", nbytes, cluster, ring, p, 8, Algorithm.RING
+            )
+            for p in ALL_PROTOCOLS
+        }
+    return rows
+
+
+class TestProtocolAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_protocol_ablation()
+
+    def test_ll_wins_small(self, rows):
+        small = rows[10]
+        assert small["LL"] == min(small.values())
+
+    def test_simple_wins_large(self, rows):
+        large = rows[30]
+        assert large["Simple"] == min(large.values())
+
+    def test_ll128_wins_somewhere_between(self, rows):
+        winners = [min(r, key=r.get) for r in rows.values()]
+        assert "LL128" in winners
+
+    def test_report(self, rows):
+        body = [
+            [f"2^{e}"] + [f"{r[p.name] * 1e6:.1f}" for p in ALL_PROTOCOLS]
+            for e, r in rows.items()
+        ]
+        lines = ["Ablation — protocol crossover (ring AR, 256 GPUs, us)", ""]
+        lines += table(
+            ["elements"] + [p.name for p in ALL_PROTOCOLS], body
+        )
+        assert "Ablation" in save_report("ablation_protocols", lines)
+
+
+# --------------------------------------------------------------------------
+# Ablation 2: channel count
+# --------------------------------------------------------------------------
+
+def run_channel_ablation(single_node=True):
+    cluster = Cluster(1 if single_node else 16)
+    n = 16 if single_node else 256
+    ring = build_ring(cluster, make_world(n))
+    from repro.nccl import SIMPLE
+
+    return {
+        ch: collective_time(
+            "allreduce", 2 * 2**26, cluster, ring, SIMPLE, ch,
+            Algorithm.RING,
+        )
+        for ch in (2, 4, 8, 16, 24, 32, 48, 64)
+    }
+
+
+class TestChannelAblation:
+    def test_more_channels_help_until_fabric_limit(self):
+        times = run_channel_ablation(single_node=True)
+        assert times[8] < times[2]
+        # beyond the NVSwitch injection limit, extra channels don't help
+        assert times[64] == pytest.approx(times[16], rel=0.05)
+
+    def test_multi_node_saturates_at_nic_count(self):
+        times = run_channel_ablation(single_node=False)
+        assert times[8] < times[2]
+        assert times[64] == pytest.approx(times[8], rel=0.05)
+
+    def test_report(self):
+        times = run_channel_ablation()
+        body = [[ch, f"{t * 1e3:.3f}"] for ch, t in times.items()]
+        lines = ["Ablation — channels (ring AR 128 MiB, 16 GPUs, ms)", ""]
+        lines += table(["channels", "time"], body)
+        save_report("ablation_channels", lines)
+
+
+# --------------------------------------------------------------------------
+# Ablation 3: overlap granularity
+# --------------------------------------------------------------------------
+
+def _mm_ar(batch=16):
+    W = world(16)
+    m, k, n = batch * 1024, 768, 3072
+    a = Tensor(FP16, (m, k * 16), Sliced(1), W, RANK, name="a")
+    w = Tensor(FP16, (k * 16, n), Sliced(0), W, RANK, name="w")
+    layer = MatMul(a, w, name="layer")
+    s = AllReduce("+", layer, name="sum")
+    return Execute("mm_ar", [a, w], [s]), layer, s
+
+
+def run_overlap_granularity():
+    cluster = Cluster(1)
+    times = {}
+    for chunks in (1, 2, 4, 8, 16, 32, 64):
+        prog, layer, s = _mm_ar()
+        sched = Schedule(prog)
+        sched.overlap(layer, s)
+        pcm = ProgramCostModel(cluster, overlap_chunks=chunks)
+        times[chunks] = pcm.time(sched)
+    return times
+
+
+class TestOverlapGranularity:
+    @pytest.fixture(scope="class")
+    def times(self):
+        return run_overlap_granularity()
+
+    def test_few_chunks_serialize(self, times):
+        # 1 chunk = no overlap at all
+        assert times[1] > times[16]
+
+    def test_sweet_spot_exists(self, times):
+        best = min(times, key=times.get)
+        assert 4 <= best <= 64
+
+    def test_diminishing_returns(self, times):
+        gain_2_to_8 = times[2] - times[8]
+        gain_16_to_64 = times[16] - times[64]
+        assert gain_2_to_8 > gain_16_to_64
+
+    def test_report(self, times):
+        body = [[c, f"{t * 1e3:.3f}"] for c, t in times.items()]
+        lines = [
+            "Ablation — overlap chunk count (MM+AR, B=16, 16 GPUs, ms)", ""
+        ]
+        lines += table(["chunks", "time"], body)
+        save_report("ablation_overlap_granularity", lines)
+
+
+# --------------------------------------------------------------------------
+# Ablation 4: bucket size
+# --------------------------------------------------------------------------
+
+def run_bucket_ablation(num_elements=334_000_000):
+    rows = {}
+    for exp in (6, 8, 10, 12, 14):
+        bucket = 2**exp
+        buckets = -(-num_elements // bucket)
+        metadata = buckets * BUCKET_METADATA_BYTES
+        rows[exp] = dict(
+            buckets=buckets,
+            metadata_mb=metadata / 2**20,
+            metadata_fraction=metadata / (2 * num_elements),
+        )
+    return rows
+
+
+class TestBucketAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_bucket_ablation()
+
+    def test_metadata_shrinks_with_bucket_size(self, rows):
+        assert rows[6]["metadata_mb"] > rows[10]["metadata_mb"]
+        assert rows[10]["metadata_mb"] > rows[14]["metadata_mb"]
+
+    def test_paper_choice_is_sub_percent(self, rows):
+        # 2^10 buckets: ~0.6% of the fp16 data (§5.4)
+        assert rows[10]["metadata_fraction"] < 0.01
+
+    def test_tiny_buckets_blow_up_metadata(self, rows):
+        assert rows[6]["metadata_fraction"] > 0.05
+
+    def test_report(self, rows):
+        body = [
+            [f"2^{e}", r["buckets"], f"{r['metadata_mb']:.1f}",
+             f"{r['metadata_fraction']:.2%}"]
+            for e, r in rows.items()
+        ]
+        lines = [
+            "Ablation — bucket size vs metadata overhead (334M elements)",
+            "",
+        ]
+        lines += table(
+            ["bucket elems", "buckets", "metadata MiB", "fraction"], body
+        )
+        save_report("ablation_bucket_size", lines)
+
+
+def test_benchmark_ablations(benchmark):
+    def run_all():
+        run_protocol_ablation()
+        run_channel_ablation()
+        run_overlap_granularity()
+        run_bucket_ablation()
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)

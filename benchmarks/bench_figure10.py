@@ -1,0 +1,203 @@
+"""Figure 10: data-parallel parameter update, Adam and LAMB, 256 GPUs.
+
+Paper: speedups over AllReduce+FusedAdam / AllReduce+FusedLAMB across
+tensor sizes 2^10..2^30 (mixed precision):
+
+* AR-Opt wins at small sizes (it skips Apex's preprocessing);
+* fuse(RS-Opt-AG) wins at large sizes and approaches UB (the cost of
+  the AllReduce alone);
+* GShard-Eq sits below the fused schedule ("multiple kernel calls ...
+  significantly hurt performance" at small sizes);
+* overall bands: 1.2x–1.7x (Adam), 1.35x–2.0x (LAMB); crossover around
+  2^17; "There is no schedule that performs best for all sizes."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import save_report, table
+from repro.baselines.apex import FUSED_ADAM, FUSED_LAMB
+from repro.cluster import Cluster
+from repro.core.process_group import world
+from repro.nccl.config import choose_config
+from repro.perf import ProgramCostModel
+from repro.workloads.adam import AdamWorkload
+from repro.workloads.lamb import LambWorkload
+
+WORLD_SIZE = 256
+SIZES = [2**e for e in range(10, 31, 2)]
+
+#: paper's qualitative reference points (speedup over the baseline)
+PAPER = {
+    "adam": {"band": (1.2, 1.7), "crossover_exp": 17},
+    "lamb": {"band": (1.35, 2.0), "crossover_exp": 17},
+}
+
+
+def _baseline_time(num_elements, cluster, optimizer):
+    """AllReduce over fp16 gradients + Apex fused optimizer."""
+    _, ar = choose_config(
+        "allreduce", 2 * num_elements, cluster, world(WORLD_SIZE)
+    )
+    gpu = cluster.node.gpu
+    return (
+        ar
+        + gpu.kernel_launch_overhead
+        + optimizer.kernel_time(num_elements, gpu)
+    )
+
+
+def _ub_time(num_elements, cluster):
+    """Upper bound: the AllReduce alone (no computation at all)."""
+    _, ar = choose_config(
+        "allreduce", 2 * num_elements, cluster, world(WORLD_SIZE)
+    )
+    return ar + cluster.node.gpu.kernel_launch_overhead
+
+
+def run_optimizer_sweep(workload_cls, optimizer, cluster=None):
+    """Speedups over the baseline per size and schedule."""
+    cluster = cluster or Cluster(16)
+    rows = {}
+    for n in SIZES:
+        wl = workload_cls.build(n, WORLD_SIZE)
+        base = _baseline_time(n, cluster, optimizer)
+        entry = {"UB": base / _ub_time(n, cluster)}
+        for name, sched in wl.schedules().items():
+            pcm = ProgramCostModel(cluster)
+            entry[name] = base / pcm.time(sched)
+        rows[n] = entry
+    return rows
+
+
+def crossover_exponent(rows, ar_name, fused_name):
+    """First size (log2) where the fused schedule beats AR-Opt."""
+    for n in SIZES:
+        if rows[n][fused_name] > rows[n][ar_name]:
+            return n.bit_length() - 1
+    return None
+
+
+def report(kind: str, rows) -> str:
+    names = list(next(iter(rows.values())).keys())
+    body = [
+        [f"2^{n.bit_length() - 1}"] + [f"{rows[n][c]:.2f}x" for c in names]
+        for n in SIZES
+    ]
+    lines = [
+        f"Figure 10{'a' if kind == 'adam' else 'b'} — mixed-precision "
+        f"{kind.upper()} on {WORLD_SIZE} GPUs",
+        f"paper: best-schedule band {PAPER[kind]['band'][0]}x–"
+        f"{PAPER[kind]['band'][1]}x, crossover ≈ 2^{PAPER[kind]['crossover_exp']}",
+        "",
+    ]
+    lines += table(["elements"] + names, body)
+    return save_report(f"figure10_{kind}", lines)
+
+
+@pytest.fixture(scope="module")
+def adam_rows():
+    return run_optimizer_sweep(AdamWorkload, FUSED_ADAM)
+
+
+@pytest.fixture(scope="module")
+def lamb_rows():
+    return run_optimizer_sweep(LambWorkload, FUSED_LAMB)
+
+
+class TestFigure10Adam:
+    def test_ar_opt_wins_small(self, adam_rows):
+        # "AR-Adam runs best till 2^16"
+        small = adam_rows[2**10]
+        assert small["AR-Adam"] > small["fuse(RS-Adam-AG)"]
+        assert small["AR-Adam"] > small["RS-Adam-AG"]
+
+    def test_fused_wins_large(self, adam_rows):
+        # "fuse(RS-Adam-AG) runs best after 2^17"
+        big = adam_rows[2**30]
+        assert big["fuse(RS-Adam-AG)"] >= big["RS-Adam-AG"]
+        assert big["fuse(RS-Adam-AG)"] > big["AR-Adam"]
+
+    def test_fused_approaches_ub_at_large(self, adam_rows):
+        big = adam_rows[2**30]
+        assert big["fuse(RS-Adam-AG)"] > 0.9 * big["UB"]
+
+    def test_speedup_band(self, adam_rows):
+        lo, hi = PAPER["adam"]["band"]
+        best_large = adam_rows[2**30]["fuse(RS-Adam-AG)"]
+        assert lo * 0.85 <= best_large <= hi * 1.25
+
+    def test_crossover_location(self, adam_rows):
+        exp = crossover_exponent(adam_rows, "AR-Adam", "fuse(RS-Adam-AG)")
+        assert exp is not None and 14 <= exp <= 22
+
+    def test_gshard_hurt_at_small_sizes(self, adam_rows):
+        # "multiple kernel calls required for GShard-Eq schedules
+        # significantly hurt performance"
+        small = adam_rows[2**10]
+        assert small["RS-Adam-AG"] < 0.7
+
+    def test_no_schedule_best_everywhere(self, adam_rows):
+        winners = {
+            max(
+                (v, k) for k, v in adam_rows[n].items() if k != "UB"
+            )[1]
+            for n in SIZES
+        }
+        assert len(winners) >= 2
+
+    def test_report(self, adam_rows):
+        assert "Figure 10a" in report("adam", adam_rows)
+
+
+class TestFigure10Lamb:
+    def test_lamb_band_exceeds_adam(self, adam_rows, lamb_rows):
+        # LAMB moves more optimizer state, so distributing it wins more
+        assert (
+            lamb_rows[2**30]["fuse(RS-LAMB-AG)"]
+            > adam_rows[2**30]["fuse(RS-Adam-AG)"]
+        )
+
+    def test_lamb_speedup_band(self, lamb_rows):
+        lo, hi = PAPER["lamb"]["band"]
+        best_large = lamb_rows[2**30]["fuse(RS-LAMB-AG)"]
+        assert lo * 0.85 <= best_large <= hi * 1.25
+
+    def test_ar_lamb_wins_small(self, lamb_rows):
+        small = lamb_rows[2**10]
+        assert small["AR-LAMB"] > small["fuse(RS-LAMB-AG)"]
+
+    def test_crossover_location(self, lamb_rows):
+        exp = crossover_exponent(lamb_rows, "AR-LAMB", "fuse(RS-LAMB-AG)")
+        assert exp is not None and 14 <= exp <= 22
+
+    def test_report(self, lamb_rows):
+        assert "Figure 10b" in report("lamb", lamb_rows)
+
+
+class TestFigure10Float32:
+    """"The results for Float 32 are qualitatively similar" (§6.1.1)."""
+
+    def test_fp32_shape_matches_fp16(self):
+        from repro.core import FP32
+
+        cluster = Cluster(16)
+        rows = {}
+        for n in (2**12, 2**28):
+            wl = AdamWorkload.build(n, WORLD_SIZE, grad_dtype=FP32)
+            base = _baseline_time(n, cluster, FUSED_ADAM)
+            rows[n] = {
+                name: base / ProgramCostModel(cluster).time(sched)
+                for name, sched in wl.schedules().items()
+            }
+        # same qualitative structure: AR-Opt wins small, fused wins large
+        assert rows[2**12]["AR-Adam"] > rows[2**12]["fuse(RS-Adam-AG)"]
+        assert rows[2**28]["fuse(RS-Adam-AG)"] > rows[2**28]["AR-Adam"]
+
+
+def test_benchmark_figure10_adam(benchmark):
+    benchmark.pedantic(
+        lambda: run_optimizer_sweep(AdamWorkload, FUSED_ADAM),
+        rounds=1, iterations=1,
+    )

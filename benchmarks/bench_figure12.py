@@ -1,0 +1,123 @@
+"""Figure 12: pipeline parallelism, GPT-3 175B scale (S=2048, H=12288).
+
+Paper (speedups over Megatron-LM's AR + compute + full-size P2P):
+
+* AR-C-P2P-AG (sliced P2P + fused compute):  4.16x–4.49x
+* GShard-Eq (RS-C-P2P-AG):                   7.06x–7.19x
+* CoCoNet ol(RS, fuse(C-P2P), AG):          11.75x–12.21x
+
+"The speedups are because: (i) sliced P2P reduces cross node
+communication volume, (ii) fusing communication and computation
+operations improves memory bandwidth utilization, and (iii) overlapping
+communication using different connections (NVLink within node and
+InfiniBand across nodes) improves network bandwidth utilization."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import save_report, table
+from repro.cluster import Cluster
+from repro.perf import ProgramCostModel
+from repro.workloads.pipeline import PipelineWorkload
+
+SEQ, HIDDEN = 2048, 12288
+BATCHES = (2, 4, 6, 8)
+PAPER = {
+    "AR-C-P2P-AG": (4.16, 4.49),
+    "GShard-Eq": (7.06, 7.19),
+    "CoCoNet": (11.75, 12.21),
+}
+SCHEDULES = {
+    "MegatronLM": "schedule_megatron",
+    "AR-C-P2P-AG": "schedule_ar_c_p2p_ag",
+    "GShard-Eq": "schedule_gshard",
+    "CoCoNet": "schedule_coconet",
+}
+
+
+def run_figure12():
+    cluster = Cluster(2)  # two pipeline groups of one DGX-2 each
+    results = {}
+    for batch in BATCHES:
+        times = {}
+        for name, builder in SCHEDULES.items():
+            wl = PipelineWorkload.build(
+                batch, SEQ, HIDDEN, world_size=32, num_groups=2
+            )
+            sched = getattr(wl, builder)()
+            times[name] = ProgramCostModel(cluster).time(sched)
+        results[batch] = times
+    return results
+
+
+def report(results) -> str:
+    rows = []
+    for batch, times in results.items():
+        base = times["MegatronLM"]
+        rows.append(
+            [
+                f"B={batch}",
+                f"{base * 1e3:.2f}",
+                f"{base / times['AR-C-P2P-AG']:.2f}x",
+                f"{base / times['GShard-Eq']:.2f}x",
+                f"{base / times['CoCoNet']:.2f}x",
+            ]
+        )
+    lines = [
+        "Figure 12 — pipeline parallelism, GPT-3 (S=2048, H=12288), "
+        "2 pipeline groups of 16 V100s",
+        "paper speedups over Megatron-LM: AR-C-P2P-AG 4.16-4.49x, "
+        "GShard-Eq 7.06-7.19x, CoCoNet 11.75-12.21x",
+        "",
+    ]
+    lines += table(
+        ["batch", "Megatron ms", "AR-C-P2P-AG", "GShard-Eq", "CoCoNet"], rows
+    )
+    return save_report("figure12", lines)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_figure12()
+
+
+class TestFigure12:
+    def test_ordering_matches_paper(self, results):
+        for times in results.values():
+            assert (
+                times["MegatronLM"]
+                > times["AR-C-P2P-AG"]
+                > times["GShard-Eq"]
+                > times["CoCoNet"]
+            )
+
+    def test_sliced_p2p_gives_multiple_x(self, results):
+        # slicing the P2P divides cross-node volume by the group size
+        for times in results.values():
+            s = times["MegatronLM"] / times["AR-C-P2P-AG"]
+            assert 3.0 <= s <= 6.0
+
+    def test_gshard_band(self, results):
+        for times in results.values():
+            s = times["MegatronLM"] / times["GShard-Eq"]
+            assert 5.0 <= s <= 9.0
+
+    def test_coconet_order_of_magnitude(self, results):
+        for times in results.values():
+            s = times["MegatronLM"] / times["CoCoNet"]
+            assert 9.0 <= s <= 15.0
+
+    def test_coconet_vs_gshard(self, results):
+        # §6.3.1: "1.66x–1.72x faster than GShard"
+        for times in results.values():
+            s = times["GShard-Eq"] / times["CoCoNet"]
+            assert 1.3 <= s <= 2.1
+
+    def test_report(self, results):
+        assert "Figure 12" in report(results)
+
+
+def test_benchmark_figure12(benchmark):
+    benchmark.pedantic(run_figure12, rounds=1, iterations=1)

@@ -1,0 +1,173 @@
+"""Integration results: §6.1.2, §6.2.2 end-to-end numbers.
+
+* §6.2.2 — "CoCoNet improved inference times of BERT 3.9B parameter
+  model by 1.51x and GPT-2 8.3B parameter model by 1.48x" after
+  integrating the overlap schedule into Megatron-LM. We model a full
+  transformer layer (QKV + attention-out GEMMs, the two epilogue
+  AllReduces, MLP GEMMs) and replace both epilogues with the
+  ol(MM, fuse(RS-C-AG)) schedule.
+
+* §6.1.2 — the BERT training speedups are covered cell by cell in
+  bench_table4; here we additionally report the end-to-end per-sample
+  throughput ratio at the models' best batch sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import save_report, table
+from repro.baselines import ALL_STRATEGIES, FUSED_ADAM
+from repro.cluster import Cluster
+from repro.perf import ProgramCostModel
+from repro.workloads.attention import AttentionWorkload
+from repro.workloads.models import BERT_1_2B, BERT_3_9B, ModelConfig
+from repro.cluster.gpu import TESLA_V100
+
+PAPER_INFERENCE = {"BERT 3.9B": 1.51, "GPT-2 8.3B": 1.48}
+TENSOR_PARALLEL = 16
+GEMM_EFFICIENCY = 0.80
+
+#: inference configurations of §6.2.2
+INFER_MODELS = {
+    "BERT 3.9B": dict(hidden=2560, seq=512, batch=8),
+    "GPT-2 8.3B": dict(hidden=3072, seq=1024, batch=8),
+}
+
+
+def _epilogue_times(hidden, seq, batch, expansion, cluster):
+    """(megatron, coconet) times of one epilogue (Figure 3's ops)."""
+    out = {}
+    for name, builder in (
+        ("megatron", "schedule_megatron"),
+        ("coconet", "schedule_coconet"),
+    ):
+        wl = AttentionWorkload.build(
+            batch, seq, hidden, TENSOR_PARALLEL, expansion=expansion
+        )
+        sched = getattr(wl, builder)()
+        out[name] = ProgramCostModel(
+            cluster, gemm_efficiency=GEMM_EFFICIENCY
+        ).time(sched)
+    return out["megatron"], out["coconet"]
+
+
+def _other_layer_compute(hidden, seq, batch, gpu):
+    """GEMMs not inside the two epilogues: QKV projection, the
+    attention score/context matmuls, and the h->4h MLP GEMM."""
+    tokens = batch * seq
+    flops = (
+        2 * tokens * hidden * 3 * hidden  # QKV
+        + 2 * 2 * tokens * seq * hidden   # scores + context
+        + 2 * tokens * hidden * 4 * hidden  # h -> 4h
+    ) / TENSOR_PARALLEL
+    t = flops / (gpu.fp16_tflops * 1e12 * GEMM_EFFICIENCY)
+    return t + 3 * gpu.kernel_launch_overhead
+
+
+def run_inference_integration():
+    cluster = Cluster(1)
+    results = {}
+    for name, cfg in INFER_MODELS.items():
+        h, s, b = cfg["hidden"], cfg["seq"], cfg["batch"]
+        attn_meg, attn_cc = _epilogue_times(h, s, b, 1, cluster)
+        mlp_meg, mlp_cc = _epilogue_times(h, s, b, 4, cluster)
+        rest = _other_layer_compute(h, s, b, TESLA_V100)
+        megatron = rest + attn_meg + mlp_meg
+        coconet = rest + attn_cc + mlp_cc
+        results[name] = dict(
+            megatron_ms=megatron * 1e3,
+            coconet_ms=coconet * 1e3,
+            speedup=megatron / coconet,
+            paper=PAPER_INFERENCE[name],
+        )
+    return results
+
+
+def run_training_integration():
+    cluster = Cluster(16)
+    results = {}
+    for model in (BERT_1_2B, BERT_3_9B):
+        tputs = {}
+        for s in ALL_STRATEGIES(FUSED_ADAM):
+            tputs[s.name] = s.throughput(model, cluster, cap=32)
+        results[model.name] = tputs
+    return results
+
+
+def report(infer, train) -> str:
+    rows = [
+        [
+            name,
+            f"{r['megatron_ms']:.2f}",
+            f"{r['coconet_ms']:.2f}",
+            f"{r['speedup']:.2f}x",
+            f"{r['paper']:.2f}x",
+        ]
+        for name, r in infer.items()
+    ]
+    lines = [
+        "Integration — model-parallel inference, per transformer layer "
+        "(§6.2.2)",
+        "",
+    ]
+    lines += table(
+        ["model", "Megatron ms/layer", "CoCoNet ms/layer", "speedup",
+         "paper"],
+        rows,
+    )
+    lines.append("")
+    lines.append("Integration — BERT training samples/s per strategy "
+                 "(§6.1.2):")
+    for model, tputs in train.items():
+        parts = ", ".join(
+            f"{k}: {v:.1f}" if v else f"{k}: OOM"
+            for k, v in tputs.items()
+        )
+        lines.append(f"  {model}: {parts}")
+    return save_report("integration", lines)
+
+
+@pytest.fixture(scope="module")
+def infer():
+    return run_inference_integration()
+
+
+@pytest.fixture(scope="module")
+def train():
+    return run_training_integration()
+
+
+class TestInferenceIntegration:
+    def test_speedups_in_paper_neighbourhood(self, infer):
+        # paper: 1.51x (BERT 3.9B), 1.48x (GPT-2 8.3B)
+        for name, r in infer.items():
+            assert 1.25 <= r["speedup"] <= 1.8, (name, r["speedup"])
+
+    def test_both_models_improve(self, infer):
+        for r in infer.values():
+            assert r["coconet_ms"] < r["megatron_ms"]
+
+    def test_layer_times_plausible_magnitude(self, infer):
+        for r in infer.values():
+            assert 0.3 < r["megatron_ms"] < 30
+
+
+class TestTrainingIntegration:
+    def test_coconet_best_or_tied_at_scale(self, train):
+        for model, tputs in train.items():
+            valid = {k: v for k, v in tputs.items() if v is not None}
+            best = max(valid.values())
+            assert valid["CoCoNet"] >= 0.99 * best, model
+
+    def test_baselines_oom_at_3_9b(self, train):
+        t = train["BERT 3.9B"]
+        assert t["NV BERT"] is None and t["PyTorch DDP"] is None
+        assert t["CoCoNet"] is not None
+
+    def test_report(self, infer, train):
+        assert "Integration" in report(infer, train)
+
+
+def test_benchmark_integration(benchmark):
+    benchmark.pedantic(run_inference_integration, rounds=1, iterations=1)

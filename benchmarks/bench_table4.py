@@ -1,0 +1,153 @@
+"""Table 4: BERT data-parallel training — batch sizes and speedups.
+
+Paper (256 V100s, mixed precision):
+
+    Optimizer  Model   max micro-batch (NV/DDP/ZeRO/CoCoNet)  speedups
+    Adam       336M    32 / 32 / 32 / 32     1.18x 1.22x 1.10x
+    Adam       1.2B    8  / 8  / 32 / 32     1.53x 1.52x 1.10x
+    Adam       3.9B    OOM/ OOM/ 8  / 8      -     -     1.22x
+    LAMB       336M    64 / 64 / 64 / 128    1.20x 1.20x 1.15x
+    LAMB       1.2B    8  / 8  / 8  / 64     1.67x 1.68x 1.64x
+    LAMB       3.9B    OOM/ OOM/ OOM/ 8      -     -     -
+
+Our memory model reproduces the micro-batch matrix (17/18 cells; see
+EXPERIMENTS.md); throughput speedups come from the iteration-time model
+— strongest where the paper's mechanism is batch-size driven.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks._common import save_report, table
+from repro.baselines import ALL_STRATEGIES, FUSED_ADAM, FUSED_LAMB
+from repro.cluster import Cluster
+from repro.workloads.models import BERT_1_2B, BERT_336M, BERT_3_9B
+
+MODELS = (BERT_336M, BERT_1_2B, BERT_3_9B)
+#: global batch / 256 ranks caps the micro-batch (8192 for Adam,
+#: 65536 for LAMB)
+CAPS = {"Adam": 32, "LAMB": 256}
+
+PAPER_BATCHES = {
+    ("Adam", "BERT 336M"): (32, 32, 32, 32),
+    ("Adam", "BERT 1.2B"): (8, 8, 32, 32),
+    ("Adam", "BERT 3.9B"): (None, None, 8, 8),
+    ("LAMB", "BERT 336M"): (64, 64, 64, 128),
+    ("LAMB", "BERT 1.2B"): (8, 8, 8, 64),
+    ("LAMB", "BERT 3.9B"): (None, None, None, 8),
+}
+PAPER_SPEEDUPS = {
+    ("Adam", "BERT 336M"): (1.18, 1.22, 1.10),
+    ("Adam", "BERT 1.2B"): (1.53, 1.52, 1.10),
+    ("Adam", "BERT 3.9B"): (None, None, 1.22),
+    ("LAMB", "BERT 336M"): (1.20, 1.20, 1.15),
+    ("LAMB", "BERT 1.2B"): (1.67, 1.68, 1.64),
+    ("LAMB", "BERT 3.9B"): (None, None, None),
+}
+
+
+def run_table4():
+    cluster = Cluster(16)
+    results = {}
+    for opt_name, optimizer in (("Adam", FUSED_ADAM), ("LAMB", FUSED_LAMB)):
+        for model in MODELS:
+            strategies = ALL_STRATEGIES(optimizer)
+            cap = CAPS[opt_name]
+            batches = [
+                s.max_micro_batch(model, cluster, cap=cap)
+                for s in strategies
+            ]
+            tputs = [
+                s.throughput(model, cluster, cap=cap) for s in strategies
+            ]
+            cc = tputs[-1]
+            speedups = [
+                (cc / t) if (t and cc) else None for t in tputs[:-1]
+            ]
+            results[(opt_name, model.name)] = dict(
+                batches=tuple(batches), speedups=tuple(speedups)
+            )
+    return results
+
+
+def _fmt_b(b):
+    return "OOM" if b is None else str(b)
+
+
+def _fmt_s(s):
+    return "-" if s is None else f"{s:.2f}x"
+
+
+def report(results) -> str:
+    rows = []
+    for (opt, model), r in results.items():
+        pb = PAPER_BATCHES[(opt, model)]
+        ps = PAPER_SPEEDUPS[(opt, model)]
+        rows.append(
+            [
+                opt, model,
+                "/".join(_fmt_b(b) for b in r["batches"]),
+                "/".join(_fmt_b(b) for b in pb),
+                " ".join(_fmt_s(s) for s in r["speedups"]),
+                " ".join(_fmt_s(s) for s in ps),
+            ]
+        )
+    lines = [
+        "Table 4 — BERT training on 256 simulated V100s "
+        "(NV BERT / PyTorch DDP / ZeRO / CoCoNet)",
+        "",
+    ]
+    lines += table(
+        ["opt", "model", "micro-batch (ours)", "micro-batch (paper)",
+         "CoCoNet speedup (ours)", "paper"],
+        rows,
+    )
+    return save_report("table4", lines)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_table4()
+
+
+class TestTable4:
+    def test_micro_batch_matrix_matches_paper(self, results):
+        # 17 of 18 cells match; LAMB 1.2B CoCoNet is the known exception
+        mismatches = []
+        for key, r in results.items():
+            for ours, paper in zip(r["batches"], PAPER_BATCHES[key]):
+                if ours != paper:
+                    mismatches.append((key, ours, paper))
+        assert len(mismatches) <= 1, mismatches
+
+    def test_oom_pattern_matches_exactly(self, results):
+        for key, r in results.items():
+            ours_oom = tuple(b is None for b in r["batches"])
+            paper_oom = tuple(b is None for b in PAPER_BATCHES[key])
+            assert ours_oom == paper_oom, key
+
+    def test_coconet_always_runs(self, results):
+        for r in results.values():
+            assert r["batches"][-1] is not None
+
+    def test_coconet_never_slower(self, results):
+        for r in results.values():
+            for s in r["speedups"]:
+                if s is not None:
+                    assert s >= 0.95
+
+    def test_memory_driven_speedups_large(self, results):
+        # 1.2B: baselines capped at micro-batch 8 vs CoCoNet 32/64 —
+        # the batch advantage dominates (paper: 1.52-1.68x)
+        adam = results[("Adam", "BERT 1.2B")]["speedups"]
+        assert adam[0] > 1.3 and adam[1] > 1.05
+        lamb = results[("LAMB", "BERT 1.2B")]["speedups"]
+        assert lamb[0] > 1.3 and lamb[2] > 1.3
+
+    def test_report(self, results):
+        assert "Table 4" in report(results)
+
+
+def test_benchmark_table4(benchmark):
+    benchmark.pedantic(run_table4, rounds=1, iterations=1)

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Data-parallel Adam: autotune, compile, and train (Section 4, §6.1).
+
+Builds Figure 6a's Adam parameter-update program, lets the autotuner
+pick the best schedule for two very different tensor sizes (showing the
+crossover of Figure 10), compiles the winning schedule to executable
+generated code, registers it with the PyTorch-style frontend, and runs
+a few simulated training steps over *scattered* per-layer tensors.
+"""
+
+import numpy as np
+
+from repro.cluster import Cluster
+from repro.core.autotuner import Autotuner
+from repro.frontend.integration import DistributedModule
+from repro.workloads.adam import AdamWorkload, adam_reference
+
+WORLD = 8  # simulated data-parallel ranks
+
+
+def autotune_demo():
+    print("=== Autotuning Adam at two sizes (256 GPUs) ===")
+    cluster = Cluster(16)
+    for exp in (12, 28):
+        wl = AdamWorkload.build(2**exp, 256)
+        result = Autotuner(cluster).tune(wl.program)
+        print(f"\n2^{exp} elements: {len(result.candidates)} schedules "
+              f"explored in {result.elapsed_seconds * 1e3:.0f} ms")
+        print(f"  best: {result.best.name} "
+              f"({result.best.time * 1e6:.1f} us)")
+
+
+def training_demo():
+    print("\n=== Simulated training with the fused schedule ===")
+    n_elements = 96
+    from repro.core import FP32
+
+    wl = AdamWorkload.build(n_elements, WORLD, grad_dtype=FP32)
+    sched = wl.schedule_fused()
+    print("schedule:", "; ".join(sched.steps[:3]), "...")
+
+    dist = DistributedModule()
+    dist.init_process_group()
+    adam_step = dist.register(sched, name="fused_adam")
+    print(f"compiled: {adam_step.compiled.loc()} generated lines")
+
+    # scattered per-layer parameters, as a real framework stores them
+    rng = np.random.RandomState(1)
+    layers = [rng.randn(16), rng.randn(48), rng.randn(32)]
+    adam_step.prepare_scattered("p", layers)
+
+    m = np.zeros(n_elements)
+    v = np.zeros(n_elements)
+    ref_p = adam_step.bucket_table("p").gather_flat().copy()
+    ref_m, ref_v = m.copy(), v.copy()
+
+    for step in range(1, 4):
+        grads = rng.randn(WORLD, n_elements) * 0.1
+        result = adam_step(
+            dict(g=grads, p=None, m=m, v=v, lr=0.01, t=float(step))
+        )
+        m = result.tensor_state("m")
+        v = result.tensor_state("v")
+        ref_p, ref_m, ref_v = adam_reference(
+            grads, ref_p, ref_m, ref_v, 0.01, float(step)
+        )
+        err = float(np.abs(result.tensor_state("p") - ref_p).max())
+        print(f"step {step}: |p| mean = "
+              f"{float(np.abs(ref_p).mean()):.4f}, "
+              f"error vs reference Adam = {err:.2e}")
+
+    # the per-layer tensors were updated in place through the buckets
+    updated = np.concatenate([t for t in layers])
+    assert np.allclose(updated, result.tensor_state("p"), rtol=1e-5)
+    print("scattered per-layer tensors updated in place — no copies")
+
+
+if __name__ == "__main__":
+    autotune_demo()
+    training_demo()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no `wheel` package (offline), so PEP 660 editable
+installs fail; `python setup.py develop` (or `pip install -e .` with a
+setuptools that can fall back to it) uses this shim instead. All project
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,37 @@
+"""Baseline implementations the paper compares against.
+
+For the standalone experiments the baselines *are* schedules of the
+same DSL programs (Megatron-LM's unfused execution, GShard-equivalent
+split execution) and live with the workloads. This package adds:
+
+* :mod:`repro.baselines.apex` — NVIDIA Apex FusedAdam / FusedLAMB cost
+  behaviour (preprocessing overhead, best steady-state throughput);
+* :mod:`repro.baselines.training` — end-to-end data-parallel training
+  strategies for Table 4: NV BERT (contiguous copy + AllReduce),
+  PyTorch DDP (25 MB bucket overlap), ZeRO (partitioned Adam state,
+  unpartitioned LAMB), and CoCoNet's scattered fused schedule.
+"""
+
+from repro.baselines.apex import FusedOptimizerModel, FUSED_ADAM, FUSED_LAMB
+from repro.baselines.training import (
+    ALL_STRATEGIES,
+    CoCoNetStrategy,
+    IterationBreakdown,
+    NVBertStrategy,
+    PyTorchDDPStrategy,
+    TrainingStrategy,
+    ZeROStrategy,
+)
+
+__all__ = [
+    "FusedOptimizerModel",
+    "FUSED_ADAM",
+    "FUSED_LAMB",
+    "TrainingStrategy",
+    "NVBertStrategy",
+    "PyTorchDDPStrategy",
+    "ZeROStrategy",
+    "CoCoNetStrategy",
+    "ALL_STRATEGIES",
+    "IterationBreakdown",
+]

@@ -1,0 +1,60 @@
+"""NVIDIA Apex FusedAdam / FusedLAMB cost behaviour.
+
+"The baseline implementations perform additional preprocessing to
+optimize the amount of thread-parallelism and instruction-level
+parallelism per invocation. While this preprocessing cost hurts smaller
+tensors, its benefit shows up for larger tensors where AR-Opt performs
+worse." (§6.1.1)
+
+The model: a fixed preprocessing ``setup`` cost plus memory-bound
+traffic at the best achievable HBM fraction. Per-parameter traffic in
+mixed precision counts every state array the optimizer touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.gpu import GPU, TESLA_V100
+from repro.perf import kernel_cost
+
+
+@dataclass(frozen=True)
+class FusedOptimizerModel:
+    """Cost model of one Apex fused optimizer."""
+
+    name: str
+    #: HBM bytes touched per parameter in mixed precision: fp16 grad
+    #: read, fp32 m/v read+write, fp32 master read+write, fp16 param
+    #: write (+ extra norm passes for LAMB).
+    bytes_per_param: float
+    #: preprocessing before the kernel proper
+    setup_seconds: float
+
+    def kernel_time(
+        self,
+        num_params: int,
+        gpu: GPU = TESLA_V100,
+        include_launch: bool = True,
+    ) -> float:
+        params = kernel_cost.CostParams(
+            ramp_bytes=kernel_cost.APEX_FUSED_OPTIMIZER.ramp_bytes,
+            peak_fraction=kernel_cost.APEX_FUSED_OPTIMIZER.peak_fraction,
+            setup=self.setup_seconds,
+        )
+        return kernel_cost.pointwise_time(
+            num_params * self.bytes_per_param, gpu, params,
+            include_launch=include_launch,
+        )
+
+
+#: g16(2) + m(4+4) + v(4+4) + master(4+4) + p16(2) = 28 B/param.
+FUSED_ADAM = FusedOptimizerModel(
+    name="FusedAdam", bytes_per_param=28.0, setup_seconds=25e-6
+)
+
+#: Adam traffic + re-reading params and the update for the two norms
+#: (+4 +4 B/param), slightly larger setup for the multi-phase kernel.
+FUSED_LAMB = FusedOptimizerModel(
+    name="FusedLAMB", bytes_per_param=36.0, setup_seconds=32e-6
+)

@@ -1,0 +1,261 @@
+"""End-to-end data-parallel training strategies (Table 4).
+
+Each strategy models one implementation's per-iteration time and memory
+plan for BERT training on the simulated cluster:
+
+* **NV BERT** — copies every gradient tensor into a contiguous buffer,
+  AllReduces it, copies back, then calls Apex's fused optimizer;
+* **PyTorch DDP** — AllReduces 25 MB gradient buckets overlapped with
+  the backward pass, then calls the fused optimizer;
+* **ZeRO** — contiguous copy, ReduceScatter, partitioned Adam update,
+  AllGather; LAMB state cannot be partitioned (§6.1.2);
+* **CoCoNet** — the scattered-tensor fuse(RS-Opt-AG) schedule: no
+  copies, communication and update in one kernel, state sliced.
+
+The forward+backward time uses a batch-dependent GEMM efficiency, so a
+strategy whose memory plan allows a larger micro-batch gains
+throughput — the paper's main lever on the 1.2B/3.9B models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.baselines.apex import FUSED_ADAM, FUSED_LAMB, FusedOptimizerModel
+from repro.cluster.topology import Cluster
+from repro.core.process_group import world
+from repro.nccl.config import choose_config
+from repro.perf import kernel_cost
+from repro.scattered.bucketing import BUCKET_ELEMENTS
+from repro.workloads.models import (
+    COCONET_PLAN,
+    NV_BERT_PLAN,
+    PYTORCH_DDP_PLAN,
+    ZERO_ADAM_PLAN,
+    ZERO_LAMB_PLAN,
+    ModelConfig,
+    TrainingMemoryPlan,
+    max_micro_batch,
+)
+
+#: Peak fraction of tensor-core throughput reached at large batch.
+_PEAK_TRAINING_EFFICIENCY = 0.52
+#: Micro-batch at which GEMM efficiency reaches half its peak.
+_BATCH_HALF_SATURATION = 6.0
+#: DDP gradient bucket size (§6.1.2: "buckets of 25MB").
+DDP_BUCKET_BYTES = 25 * 1024 * 1024
+#: Fraction of the backward pass DDP can hide communication under.
+_DDP_OVERLAP_WINDOW = 0.55
+#: Measured scattered-tensor overhead (Table 2: ~1-2%).
+SCATTERED_OVERHEAD = 0.015
+
+
+@dataclass
+class IterationBreakdown:
+    """Per-iteration time decomposition of one strategy."""
+
+    micro_batch: int
+    forward_backward: float
+    gradient_copies: float
+    communication: float
+    optimizer: float
+
+    @property
+    def total(self) -> float:
+        return (
+            self.forward_backward
+            + self.gradient_copies
+            + self.communication
+            + self.optimizer
+        )
+
+    @property
+    def samples_per_second(self) -> float:
+        return self.micro_batch / self.total
+
+
+def _fwd_bwd_time(
+    config: ModelConfig, micro_batch: int, cluster: Cluster
+) -> float:
+    """Forward+backward with batch-dependent GEMM efficiency."""
+    gpu = cluster.node.gpu
+    eff = _PEAK_TRAINING_EFFICIENCY * (
+        micro_batch / (micro_batch + _BATCH_HALF_SATURATION)
+    )
+    flops = config.flops_per_sample() * micro_batch
+    # per-layer kernel launches, forward and backward
+    launches = 6 * config.num_layers * gpu.kernel_launch_overhead
+    return flops / (gpu.fp16_tflops * 1e12 * eff) + launches
+
+
+def _copy_time(nbytes: int, num_tensors: int, cluster: Cluster) -> float:
+    """Copy scattered tensors to/from a contiguous buffer."""
+    gpu = cluster.node.gpu
+    per_tensor = nbytes / max(1, num_tensors)
+    one = kernel_cost.pointwise_time(
+        2 * per_tensor, gpu, kernel_cost.DEFAULT
+    )
+    return num_tensors * one
+
+
+class TrainingStrategy:
+    """Base class: memory plan + iteration-time decomposition."""
+
+    name: str = "base"
+
+    def __init__(self, optimizer: FusedOptimizerModel) -> None:
+        self.optimizer = optimizer
+
+    # -- memory ----------------------------------------------------------
+
+    def memory_plan(self) -> TrainingMemoryPlan:
+        raise NotImplementedError
+
+    def max_micro_batch(
+        self,
+        config: ModelConfig,
+        cluster: Cluster,
+        cap: Optional[int] = None,
+    ) -> Optional[int]:
+        return max_micro_batch(
+            config, self.memory_plan(), cluster.num_ranks,
+            cluster.node.gpu, cap,
+        )
+
+    # -- time --------------------------------------------------------------
+
+    def _comm_time(
+        self, kind: str, nbytes: int, cluster: Cluster
+    ) -> float:
+        _, t = choose_config(
+            kind, nbytes, cluster, world(cluster.num_ranks)
+        )
+        return t + cluster.node.gpu.kernel_launch_overhead
+
+    def iteration(
+        self, config: ModelConfig, micro_batch: int, cluster: Cluster
+    ) -> IterationBreakdown:
+        raise NotImplementedError
+
+    def throughput(
+        self,
+        config: ModelConfig,
+        cluster: Cluster,
+        cap: Optional[int] = None,
+    ) -> Optional[float]:
+        """Samples/second at the strategy's best micro-batch, or None."""
+        batch = self.max_micro_batch(config, cluster, cap)
+        if batch is None:
+            return None
+        return self.iteration(config, batch, cluster).samples_per_second
+
+
+class NVBertStrategy(TrainingStrategy):
+    name = "NV BERT"
+
+    def memory_plan(self) -> TrainingMemoryPlan:
+        return NV_BERT_PLAN
+
+    def iteration(self, config, micro_batch, cluster) -> IterationBreakdown:
+        grad_bytes = config.param_bytes_fp16
+        copies = 2 * _copy_time(grad_bytes, config.num_tensors, cluster)
+        comm = self._comm_time("allreduce", grad_bytes, cluster)
+        opt = self.optimizer.kernel_time(config.num_params, cluster.node.gpu)
+        return IterationBreakdown(
+            micro_batch,
+            _fwd_bwd_time(config, micro_batch, cluster),
+            copies, comm, opt,
+        )
+
+
+class PyTorchDDPStrategy(TrainingStrategy):
+    name = "PyTorch DDP"
+
+    def memory_plan(self) -> TrainingMemoryPlan:
+        return PYTORCH_DDP_PLAN
+
+    def iteration(self, config, micro_batch, cluster) -> IterationBreakdown:
+        grad_bytes = config.param_bytes_fp16
+        num_buckets = max(1, -(-grad_bytes // DDP_BUCKET_BYTES))
+        per_bucket = self._comm_time(
+            "allreduce", min(grad_bytes, DDP_BUCKET_BYTES), cluster
+        )
+        comm_total = num_buckets * per_bucket
+        fwd_bwd = _fwd_bwd_time(config, micro_batch, cluster)
+        hidden = min(comm_total, _DDP_OVERLAP_WINDOW * fwd_bwd)
+        opt = self.optimizer.kernel_time(config.num_params, cluster.node.gpu)
+        return IterationBreakdown(
+            micro_batch, fwd_bwd, 0.0, comm_total - hidden, opt
+        )
+
+
+class ZeROStrategy(TrainingStrategy):
+    name = "ZeRO"
+
+    def memory_plan(self) -> TrainingMemoryPlan:
+        if self.optimizer is FUSED_LAMB:
+            return ZERO_LAMB_PLAN
+        return ZERO_ADAM_PLAN
+
+    def iteration(self, config, micro_batch, cluster) -> IterationBreakdown:
+        grad_bytes = config.param_bytes_fp16
+        copies = 2 * _copy_time(grad_bytes, config.num_tensors, cluster)
+        if self.optimizer is FUSED_LAMB:
+            # no state partitioning: plain AllReduce + full update
+            comm = self._comm_time("allreduce", grad_bytes, cluster)
+            opt = self.optimizer.kernel_time(
+                config.num_params, cluster.node.gpu
+            )
+        else:
+            comm = self._comm_time(
+                "reducescatter", grad_bytes, cluster
+            ) + self._comm_time("allgather", grad_bytes, cluster)
+            opt = self.optimizer.kernel_time(
+                config.num_params // cluster.num_ranks, cluster.node.gpu
+            )
+        return IterationBreakdown(
+            micro_batch,
+            _fwd_bwd_time(config, micro_batch, cluster),
+            copies, comm, opt,
+        )
+
+
+class CoCoNetStrategy(TrainingStrategy):
+    name = "CoCoNet"
+
+    def memory_plan(self) -> TrainingMemoryPlan:
+        return COCONET_PLAN
+
+    def iteration(self, config, micro_batch, cluster) -> IterationBreakdown:
+        grad_bytes = config.param_bytes_fp16
+        gpu = cluster.node.gpu
+        # fuse(RS-Opt-AG) over scattered tensors: one kernel, no copies;
+        # the distributed update hides under the communication stream.
+        comm = self._comm_time(
+            "reducescatter", grad_bytes, cluster,
+        ) + self._comm_time("allgather", grad_bytes, cluster, ) \
+            - gpu.kernel_launch_overhead  # single fused launch
+        update_traffic = kernel_cost.pointwise_time(
+            (config.num_params // cluster.num_ranks)
+            * self.optimizer.bytes_per_param,
+            gpu, kernel_cost.FUSED_REGISTER_PRESSURE,
+            include_launch=False,
+        )
+        comm = max(comm, update_traffic)
+        comm *= 1.0 + SCATTERED_OVERHEAD
+        return IterationBreakdown(
+            micro_batch,
+            _fwd_bwd_time(config, micro_batch, cluster),
+            0.0, comm, 0.0,
+        )
+
+
+def ALL_STRATEGIES(optimizer: FusedOptimizerModel) -> List[TrainingStrategy]:
+    """The Table 4 strategy lineup for one optimizer."""
+    return [
+        NVBertStrategy(optimizer),
+        PyTorchDDPStrategy(optimizer),
+        ZeROStrategy(optimizer),
+        CoCoNetStrategy(optimizer),
+    ]

@@ -1,0 +1,24 @@
+"""Parametric hardware model of the paper's evaluation platform.
+
+"Our experiments are performed on a cluster of 16 NVIDIA DGX-2 nodes
+where each node contains dual 24-core Intel Xeon CPUs and 16 NVIDIA
+Tesla V100 (32GB) GPUs. Each GPU within a node is connected to six
+NVSwitches with six NVLinks (25 GBps per NVLink). Nodes are connected
+with 8 non-blocking EDR InfiniBand (100 Gbps) network." (Section 6)
+"""
+
+from repro.cluster.gpu import GPU, TESLA_V100
+from repro.cluster.links import IB_EDR, NVLINK_V100, Link
+from repro.cluster.node import DGX2, NodeSpec
+from repro.cluster.topology import Cluster
+
+__all__ = [
+    "GPU",
+    "TESLA_V100",
+    "Link",
+    "NVLINK_V100",
+    "IB_EDR",
+    "NodeSpec",
+    "DGX2",
+    "Cluster",
+]

@@ -1,0 +1,60 @@
+"""GPU device model.
+
+Captures the V100 parameters the cost model needs: peak tensor-core and
+FP32 throughput, HBM bandwidth, SM/occupancy structure (register
+pressure of fused kernels reduces thread-level parallelism — the
+paper's explanation for fusion losing at small sizes), kernel launch
+overhead, and device memory capacity (Table 4's OOM boundary).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dtypes import DType, FP16
+
+
+@dataclass(frozen=True)
+class GPU:
+    """A GPU model used by the performance simulator."""
+
+    name: str
+    fp16_tflops: float        # peak tensor-core FP16 TFLOP/s
+    fp32_tflops: float        # peak FP32 TFLOP/s
+    hbm_bandwidth: float      # bytes/second
+    memory_bytes: int         # device memory capacity
+    num_sms: int
+    max_threads_per_sm: int
+    registers_per_sm: int
+    kernel_launch_overhead: float  # seconds per kernel launch
+
+    def peak_flops(self, dtype: DType) -> float:
+        """Peak FLOP/s for matrix math in the given precision."""
+        if dtype.itemsize <= FP16.itemsize:
+            return self.fp16_tflops * 1e12
+        return self.fp32_tflops * 1e12
+
+    def matmul_time(self, flops: int, bytes_touched: int, dtype: DType,
+                    efficiency: float = 0.72) -> float:
+        """Roofline GEMM time: max of math-bound and memory-bound terms.
+
+        ``efficiency`` models achievable fraction of peak for realistic
+        cuBLAS/CUTLASS kernels on transformer shapes.
+        """
+        math_time = flops / (self.peak_flops(dtype) * efficiency)
+        mem_time = bytes_touched / self.hbm_bandwidth
+        return max(math_time, mem_time)
+
+
+#: The paper's evaluation GPU: NVIDIA Tesla V100 (32 GB SXM3).
+TESLA_V100 = GPU(
+    name="Tesla V100-SXM3-32GB",
+    fp16_tflops=112.0,
+    fp32_tflops=15.7,
+    hbm_bandwidth=900e9,
+    memory_bytes=32 * 1024**3,
+    num_sms=80,
+    max_threads_per_sm=2048,
+    registers_per_sm=65536,
+    kernel_launch_overhead=4e-6,
+)

@@ -1,0 +1,22 @@
+"""Interconnect links: NVLink (intra-node) and InfiniBand (inter-node)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link with bandwidth and per-hop latency."""
+
+    name: str
+    bandwidth: float  # bytes/second, one direction
+    latency: float    # seconds per hop (message injection to delivery)
+
+
+#: One V100 NVLink lane: 25 GB/s per direction; each GPU has six, all
+#: routed through NVSwitch, so a GPU can inject 150 GB/s into the fabric.
+NVLINK_V100 = Link(name="NVLink2", bandwidth=25e9, latency=0.7e-6)
+
+#: EDR InfiniBand: 100 Gb/s = 12.5 GB/s per NIC; a DGX-2 has eight.
+IB_EDR = Link(name="IB-EDR", bandwidth=12.5e9, latency=1.8e-6)

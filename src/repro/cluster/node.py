@@ -1,0 +1,43 @@
+"""Node model: the NVIDIA DGX-2."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cluster.gpu import GPU, TESLA_V100
+from repro.cluster.links import IB_EDR, NVLINK_V100, Link
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A multi-GPU server."""
+
+    name: str
+    gpu: GPU
+    gpus_per_node: int
+    nvlinks_per_gpu: int
+    nvlink: Link
+    nics_per_node: int
+    nic: Link
+
+    @property
+    def gpu_fabric_bandwidth(self) -> float:
+        """Per-GPU injection bandwidth into the NVSwitch fabric."""
+        return self.nvlinks_per_gpu * self.nvlink.bandwidth
+
+    @property
+    def node_network_bandwidth(self) -> float:
+        """Aggregate inter-node bandwidth of one node (all NICs)."""
+        return self.nics_per_node * self.nic.bandwidth
+
+
+#: The paper's node: 16 V100s, 6 NVLinks/GPU via NVSwitch, 8 EDR NICs.
+DGX2 = NodeSpec(
+    name="DGX-2",
+    gpu=TESLA_V100,
+    gpus_per_node=16,
+    nvlinks_per_gpu=6,
+    nvlink=NVLINK_V100,
+    nics_per_node=8,
+    nic=IB_EDR,
+)

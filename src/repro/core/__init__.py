@@ -1,0 +1,83 @@
+"""The CoCoNet DSL core: distributed tensors, operations, programs,
+transformations, the autotuner and the code generator.
+
+This package is the paper's primary contribution. Quick tour::
+
+    from repro.core import (
+        FP16, Sliced, Replicated, world, RANK,
+        Tensor, MatMul, AllReduce, Dropout, Execute,
+    )
+
+    W = world(16)
+    w   = Tensor(FP16, (H, H), Sliced(0), W, RANK)
+    b   = Tensor(FP16, (H,), Replicated, W)
+    in_ = Tensor(FP16, (B, S, H), Sliced(2), W, RANK)
+    r   = Tensor(FP16, (B, S, H), Replicated, W)
+
+    layer = MatMul(in_, w)
+    out   = Dropout(AllReduce("+", layer) + b, 0.1) + r
+    prog  = Execute("self_attention", [w, in_, b, r], [out])
+"""
+
+from repro.core.dtypes import (
+    ALL_DTYPES,
+    BF16,
+    FP16,
+    FP32,
+    FP64,
+    INT32,
+    INT64,
+    DType,
+    dtype_by_name,
+    promote,
+)
+from repro.core.layout import Layout, Local, Replicated, Sliced
+from repro.core.ops import (
+    GROUP,
+    AllGather,
+    AllReduce,
+    Binary,
+    Broadcast,
+    Cast,
+    CommOp,
+    ComputeOp,
+    Conv2D,
+    Dropout,
+    GroupRank,
+    MatMul,
+    Norm,
+    PointwiseOp,
+    Pow,
+    Reduce,
+    ReduceScatter,
+    ReduceTensor,
+    ReLU,
+    Rsqrt,
+    Send,
+    Slice,
+    Sqrt,
+    Tanh,
+    Unary,
+    Update,
+)
+from repro.core.process_group import RANK, ProcessGroup, split_world, world
+from repro.core.program import Execute, Program
+from repro.core.tensor import Const, Expr, Scalar, Tensor, reset_names
+
+__all__ = [
+    # dtypes
+    "DType", "FP16", "BF16", "FP32", "FP64", "INT32", "INT64",
+    "ALL_DTYPES", "dtype_by_name", "promote",
+    # layouts & groups
+    "Layout", "Sliced", "Replicated", "Local",
+    "ProcessGroup", "world", "split_world", "RANK", "GROUP", "GroupRank",
+    # leaves
+    "Expr", "Tensor", "Scalar", "Const", "reset_names",
+    # ops
+    "AllReduce", "AllGather", "ReduceScatter", "Reduce", "Broadcast", "Send",
+    "MatMul", "Conv2D", "Binary", "Unary", "Dropout", "Cast", "Slice",
+    "Norm", "ReduceTensor", "Update", "Sqrt", "Rsqrt", "ReLU", "Tanh", "Pow",
+    "CommOp", "ComputeOp", "PointwiseOp",
+    # programs
+    "Execute", "Program",
+]

@@ -1,0 +1,386 @@
+"""The autotuner (Section 3.5).
+
+"CoCoNet provides an autotuner to automatically explore the space of
+all schedules of a program and return the schedule that provides the
+best performance for the underlying architecture and input sizes.
+First, the autotuner fuses all pointwise computations up to a
+pre-defined threshold to decrease the search space and then
+exhaustively explores the schedule space in a breadth first search
+manner. Finally, the autotuner generates code for all schedules in its
+search space, executes all programs, and returns the schedule with
+minimum execution time."
+
+We reproduce exactly that: a BFS over abstract transformation *moves*
+(split / reorder / fuse-collective / fuse-send / overlap), each script
+replayed on a fresh :class:`Schedule`, every candidate "executed" on
+the simulated cluster via the discrete-event cost model (which itself
+searches all NCCL protocols and channel counts), minimum time wins.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.cluster.topology import Cluster
+from repro.core import dfg, ops
+from repro.core.program import Program
+from repro.core.transforms import (
+    AllReduceFuse,
+    ARSplitRSAG,
+    ComputationFuse,
+    Schedule,
+    SendFuse,
+)
+from repro.core.transforms.plan import FusedBlock, KernelKind
+from repro.errors import AutotunerError, TransformError
+from repro.perf.program_cost import ProgramCostModel
+
+#: Pointwise fusion threshold: maximal regions larger than this are not
+#: fused ("fuses all pointwise computations up to a pre-defined
+#: threshold", §3.5).
+POINTWISE_FUSION_THRESHOLD = 64
+
+Move = Tuple[str, ...]
+
+
+@dataclass
+class Candidate:
+    """One explored schedule with its simulated execution time."""
+
+    name: str
+    moves: Tuple[Move, ...]
+    schedule: Schedule
+    time: float
+
+
+@dataclass
+class TuneResult:
+    """Output of one autotuner run."""
+
+    best: Candidate
+    candidates: List[Candidate]
+    elapsed_seconds: float
+
+    def report(self) -> str:
+        lines = [
+            f"explored {len(self.candidates)} schedules in "
+            f"{self.elapsed_seconds:.2f}s; best = {self.best.name} "
+            f"({self.best.time * 1e6:.1f} us)"
+        ]
+        for c in sorted(self.candidates, key=lambda c: c.time):
+            marker = "*" if c is self.best else " "
+            lines.append(f" {marker} {c.time * 1e6:12.1f} us  {c.name}")
+        return "\n".join(lines)
+
+
+class Autotuner:
+    """Breadth-first schedule exploration with DES-based timing."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        cost_model_factory: Optional[
+            Callable[[Cluster], ProgramCostModel]
+        ] = None,
+        max_depth: int = 4,
+    ) -> None:
+        self.cluster = cluster
+        self._factory = cost_model_factory or ProgramCostModel
+        self.max_depth = max_depth
+
+    # -- move application --------------------------------------------------
+
+    def _fresh(self, program: Program) -> Schedule:
+        sched = Schedule(program)
+        _fuse_pointwise_regions(sched)
+        return sched
+
+    def _apply(self, sched: Schedule, move: Move) -> None:
+        kind = move[0]
+        if kind == "split":
+            ar = sched.program.find(move[1])
+            sched.split(ar, ARSplitRSAG)
+        elif kind == "reorder":
+            ag = sched.program.find(move[1])
+            region = _maximal_reorder_region(sched, ag)
+            if not region:
+                raise TransformError("no reorderable region")
+            sched.reorder(ag, *_as_items(sched, region))
+        elif kind == "arfuse":
+            rs = sched.program.find(move[1])
+            members = _collective_fusion_region(sched, rs)
+            sched.fuse(*members, policy=AllReduceFuse)
+        elif kind == "sendfuse":
+            send = sched.program.find(move[1])
+            members = _send_fusion_region(sched, send)
+            sched.fuse(*members, policy=SendFuse)
+        elif kind == "slice_state":
+            # Figure 6b line 6: store updated tensors sliced and remove
+            # the AllGathers that restored them.
+            applied = False
+            for gather in list(sched.program.effects):
+                gather = sched.resolve(gather)
+                wb = getattr(gather, "writeback", None)
+                if wb is None or not wb.layout.is_replicated:
+                    continue
+                sched.asSlice(wb, dim=gather.dim)
+                sched.dead(sched.resolve(gather))
+                applied = True
+            if not applied:
+                raise TransformError("no sliceable optimizer state")
+        elif kind == "overlap":
+            chain = _overlap_chain(sched)
+            if len(chain) < 2:
+                raise TransformError("no overlap chain")
+            sched.overlap(*chain)
+        else:  # pragma: no cover - defensive
+            raise AutotunerError(f"unknown move {kind}")
+
+    def _replay(self, program: Program, moves: Sequence[Move]) -> Schedule:
+        sched = self._fresh(program)
+        for m in moves:
+            self._apply(sched, m)
+        return sched
+
+    def _next_moves(self, sched: Schedule, done: Sequence[Move]) -> List[Move]:
+        prog = sched.program
+        moves: List[Move] = []
+        done_kinds = {m[0] for m in done}
+        for e in prog.operations:
+            if isinstance(e, ops.AllReduce):
+                moves.append(("split", e.name))
+            if isinstance(e, ops.AllGather) and ("reorder", e.name) not in done:
+                if _maximal_reorder_region(sched, e):
+                    moves.append(("reorder", e.name))
+            if isinstance(e, ops.ReduceScatter) and "arfuse" not in done_kinds:
+                try:
+                    _collective_fusion_region(sched, e)
+                    moves.append(("arfuse", e.name))
+                except TransformError:
+                    pass
+            if isinstance(e, ops.Send) and "sendfuse" not in done_kinds:
+                if sched._block_of(e) is None:
+                    try:
+                        _send_fusion_region(sched, e)
+                        moves.append(("sendfuse", e.name))
+                    except TransformError:
+                        pass
+        if "slice_state" not in done_kinds:
+            for gather in sched.program.effects:
+                wb = getattr(sched.resolve(gather), "writeback", None)
+                if wb is not None and wb.layout.is_replicated:
+                    moves.append(("slice_state",))
+                    break
+        if "overlap" not in done_kinds and len(_overlap_chain(sched)) >= 2:
+            moves.append(("overlap",))
+        return moves
+
+    # -- the search ---------------------------------------------------------
+
+    def tune(self, program: Program) -> TuneResult:
+        """Explore all schedules of ``program``; return the fastest."""
+        t0 = _time.perf_counter()
+        cost = self._factory(self.cluster)
+        candidates: List[Candidate] = []
+        seen: Set[Tuple[Move, ...]] = set()
+
+        base = Schedule(program)
+        candidates.append(
+            Candidate("default", (), base, cost.time(base))
+        )
+
+        frontier: List[Tuple[Move, ...]] = [()]
+        seen.add(())
+        while frontier:
+            next_frontier: List[Tuple[Move, ...]] = []
+            for moves in frontier:
+                try:
+                    sched = self._replay(program, moves)
+                except TransformError:
+                    continue
+                name = _script_name(moves)
+                candidates.append(
+                    Candidate(name, moves, sched, cost.time(sched))
+                )
+                if len(moves) >= self.max_depth:
+                    continue
+                for m in self._next_moves(sched, moves):
+                    script = moves + (m,)
+                    key = tuple(sorted(script))
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    next_frontier.append(script)
+            frontier = next_frontier
+
+        if not candidates:
+            raise AutotunerError("no valid schedule found")
+        best = min(candidates, key=lambda c: c.time)
+        elapsed = _time.perf_counter() - t0
+        return TuneResult(best, candidates, elapsed)
+
+
+# -- region discovery helpers ------------------------------------------------
+
+
+def _fuse_pointwise_regions(sched: Schedule) -> List[FusedBlock]:
+    """Pre-pass: fuse maximal pointwise regions (§3.5).
+
+    Connected (by def-use edges) pointwise operations merge into one
+    region via union-find, so an op joining two regions unifies them.
+    """
+    prog = sched.program
+    fusable = [
+        e
+        for e in prog.operations
+        if isinstance(e, (ops.PointwiseOp, ops.Norm, ops.ReduceTensor))
+        and not isinstance(e, ops.Slice)
+    ]
+    if len(fusable) < 2 or len(fusable) > POINTWISE_FUSION_THRESHOLD:
+        return []
+    parent: Dict[int, int] = {id(e): id(e) for e in fusable}
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        parent[find(a)] = find(b)
+
+    fusable_ids = set(parent)
+    for e in fusable:
+        for i in e.inputs:
+            if id(i) in fusable_ids:
+                union(id(e), id(i))
+    regions: Dict[int, List] = {}
+    for e in fusable:
+        regions.setdefault(find(id(e)), []).append(e)
+    blocks = []
+    for region in regions.values():
+        if len(region) >= 2:
+            try:
+                blocks.append(sched.fuse(*region, policy=ComputationFuse))
+            except TransformError:
+                pass
+    return blocks
+
+
+def _maximal_reorder_region(sched: Schedule, ag: ops.AllGather) -> List:
+    """Largest sliceable op region downstream of an AllGather."""
+    prog = sched.program
+    users = dfg.users_map(prog.roots)
+    region: List = []
+    frontier = list(users.get(ag, []))
+    seen = set()
+    sliceable = (ops.PointwiseOp, ops.Norm, ops.ReduceTensor, ops.Send)
+    while frontier:
+        e = frontier.pop()
+        if id(e) in seen:
+            continue
+        seen.add(id(e))
+        if not isinstance(e, sliceable) or isinstance(e, ops.Slice):
+            return []  # a consumer cannot be sliced -> reorder invalid
+        region.append(e)
+        frontier.extend(users.get(e, []))
+    return region
+
+
+def _as_items(sched: Schedule, region: Sequence) -> List:
+    """Pass fused blocks (not their members) to reorder when present."""
+    items: List = []
+    seen_blocks = set()
+    for e in region:
+        b = sched._block_of(e)
+        if b is None:
+            items.append(e)
+        elif id(b) not in seen_blocks:
+            seen_blocks.add(id(b))
+            items.append(b)
+    return items
+
+
+def _collective_fusion_region(sched: Schedule, rs: ops.ReduceScatter) -> List:
+    """RS + sliced computation + AllGathers, for AllReduceFuse."""
+    prog = sched.program
+    users = dfg.users_map(prog.roots)
+    members: List = [rs]
+    frontier = list(users.get(rs, []))
+    seen = {id(rs)}
+    found_gather = False
+    while frontier:
+        e = frontier.pop()
+        if id(e) in seen:
+            continue
+        seen.add(id(e))
+        if isinstance(e, ops.AllGather):
+            members.append(e)
+            found_gather = True
+            continue
+        if isinstance(e, ops.Send):
+            raise TransformError("P2P send cannot join an AllReduceFuse")
+        if not isinstance(e, (ops.PointwiseOp, ops.Norm, ops.ReduceTensor)):
+            raise TransformError(f"{e.name} cannot join an AllReduceFuse")
+        members.append(e)
+        frontier.extend(users.get(e, []))
+    if not found_gather:
+        raise TransformError("no AllGather downstream of the ReduceScatter")
+    return _as_items(sched, members)
+
+
+def _send_fusion_region(sched: Schedule, send: ops.Send) -> List:
+    """Pointwise producers + the Send, for SendFuse."""
+    members: List = []
+    frontier = list(send.inputs)
+    seen = set()
+    while frontier:
+        e = frontier.pop()
+        if id(e) in seen or e.is_leaf:
+            continue
+        seen.add(id(e))
+        if isinstance(e, (ops.PointwiseOp, ops.Norm, ops.ReduceTensor)):
+            members.append(e)
+            frontier.extend(e.inputs)
+    if not members:
+        raise TransformError("no fusable computation feeds the Send")
+    return _as_items(sched, members) + [send]
+
+
+def _overlap_chain(sched: Schedule) -> List:
+    """Find a producer→consumer kernel chain worth overlapping."""
+    plan = sched.plan()
+    comm_kinds = (
+        KernelKind.COLLECTIVE,
+        KernelKind.FUSED_COLLECTIVE,
+        KernelKind.P2P,
+        KernelKind.FUSED_P2P,
+    )
+    items: List = []
+    for k in plan.kernels:
+        if k.kind is KernelKind.GEMM:
+            items = [k.exprs[0]]
+        elif k.kind in comm_kinds and items:
+            block = sched._block_of(k.exprs[-1])
+            items.append(block if block is not None else k.exprs[0])
+        elif k.kind in comm_kinds and not items:
+            block = sched._block_of(k.exprs[-1])
+            items.append(block if block is not None else k.exprs[0])
+    if len(items) < 2:
+        return []
+    # Validate the chain is producer-consumer; trim to the longest valid
+    # prefix chain.
+    chain: List = [items[0]]
+    for it in items[1:]:
+        chain.append(it)
+    return chain
+
+
+def _script_name(moves: Sequence[Move]) -> str:
+    if not moves:
+        return "fused-compute"
+    return " ; ".join(
+        m[0] if len(m) == 1 else f"{m[0]}({m[1]})" for m in moves
+    )

@@ -1,0 +1,171 @@
+"""Shape and layout inference rules.
+
+"A Var's shape and distribution layout are inferred based on the operation
+and inputs to the operation" (Section 2.2). These functions implement that
+inference and the static checks the paper performs on every operation.
+
+The rules encoded here:
+
+* pointwise ops follow PyTorch broadcast semantics on shapes and a layout
+  join (replicated ⊔ replicated = replicated, local absorbs replicated,
+  sliced requires compatible slicing of the partner);
+* MatMul between tensors sliced along the contraction dimension produces a
+  *local* (partial-sum) tensor, the situation AllReduce resolves;
+* collectives map local → replicated (AllReduce), local → sliced
+  (ReduceScatter), sliced → replicated (AllGather).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.core.layout import (
+    Layout,
+    Local,
+    Replicated,
+    Sliced,
+    normalize_dim,
+)
+from repro.core.tensor import Expr
+from repro.errors import LayoutError, ShapeError
+
+
+def broadcast_shapes(a: Tuple[int, ...], b: Tuple[int, ...]) -> Tuple[int, ...]:
+    """NumPy/PyTorch-style broadcast of two global shapes."""
+    out = []
+    la, lb = len(a), len(b)
+    for i in range(max(la, lb)):
+        da = a[la - 1 - i] if i < la else 1
+        db = b[lb - 1 - i] if i < lb else 1
+        if da != db and da != 1 and db != 1:
+            raise ShapeError(f"cannot broadcast shapes {a} and {b}")
+        out.append(max(da, db))
+    return tuple(reversed(out))
+
+
+def covers_dim(operand_shape: Tuple[int, ...], out_rank: int, dim: int) -> bool:
+    """Whether an operand participates (non-trivially) in output dim ``dim``.
+
+    With trailing-aligned broadcasting, output dim ``dim`` corresponds to
+    operand dim ``dim - (out_rank - len(operand_shape))``. The operand
+    covers it if that index is valid and its extent is greater than one.
+    """
+    j = dim - (out_rank - len(operand_shape))
+    return j >= 0 and operand_shape[j] > 1
+
+
+def pointwise_layout(a: Expr, b: Expr, out_shape: Tuple[int, ...]) -> Layout:
+    """Layout of a pointwise binary op between ``a`` and ``b``.
+
+    Raises LayoutError on combinations the paper's type system rejects,
+    e.g. adding a sliced tensor to a replicated tensor that spans the
+    sliced dimension without an explicit Slice.
+    """
+    la, lb = a.layout, b.layout
+    if la.is_sliced and lb.is_sliced:
+        if la.dim != lb.dim:
+            raise LayoutError(
+                f"cannot combine tensors sliced along different dims: "
+                f"{a.signature()} and {b.signature()}"
+            )
+        return la
+    if la.is_sliced or lb.is_sliced:
+        sliced, other = (a, b) if la.is_sliced else (b, a)
+        dim = normalize_dim(sliced.layout.dim, len(sliced.shape))
+        # A replicated/scalar partner is fine only if broadcasting keeps it
+        # out of the sliced dimension; otherwise an explicit Slice is needed.
+        if other.layout.is_local:
+            raise LayoutError(
+                f"cannot combine sliced {sliced.signature()} with local "
+                f"{other.signature()}"
+            )
+        if covers_dim(other.shape, len(out_shape), dim):
+            raise LayoutError(
+                f"{other.signature()} spans the sliced dimension {dim} of "
+                f"{sliced.signature()}; apply Slice() first"
+            )
+        return sliced.layout
+    if la.is_local or lb.is_local:
+        return Local
+    return Replicated
+
+
+def matmul_shape(a: Expr, b: Expr) -> Tuple[int, ...]:
+    """Global output shape of ``MatMul(a, b)``.
+
+    ``a`` may carry leading batch dimensions ([..., M, K]); ``b`` must be a
+    2-D [K, N] weight (the paper's workloads only need this form).
+    """
+    if len(a.shape) < 2 or len(b.shape) != 2:
+        raise ShapeError(
+            f"MatMul expects a [..., M, K] input and a [K, N] weight, got "
+            f"{a.shape} x {b.shape}"
+        )
+    if a.shape[-1] != b.shape[0]:
+        raise ShapeError(
+            f"MatMul contraction mismatch: {a.shape} x {b.shape}"
+        )
+    return a.shape[:-1] + (b.shape[1],)
+
+
+def matmul_layout(a: Expr, b: Expr) -> Layout:
+    """Layout of ``MatMul(a, b)``.
+
+    The cases, mirroring Megatron-style parallelism:
+
+    * contraction dim sliced on both sides → Local (partial sums, e.g.
+      Figure 3: "MatMul between two sliced tensors produces a local
+      tensor");
+    * ``a`` sliced along a batch dim, ``b`` replicated → sliced (data
+      parallel);
+    * ``a`` replicated, ``b`` sliced along columns → output sliced along
+      the last dim (Megatron column parallelism);
+    * both replicated → replicated; a local operand with a replicated
+      partner → local.
+    """
+    adim = (
+        normalize_dim(a.layout.dim, len(a.shape)) if a.layout.is_sliced else None
+    )
+    bdim = (
+        normalize_dim(b.layout.dim, len(b.shape)) if b.layout.is_sliced else None
+    )
+    a_rank = len(a.shape)
+    if a.layout.is_sliced and adim == a_rank - 1:
+        # a sliced along contraction dim: partner must be row-sliced.
+        if not (b.layout.is_sliced and bdim == 0):
+            raise LayoutError(
+                f"MatMul: {a.signature()} is sliced along its contraction "
+                f"dim; the weight must be Sliced(0), got {b.signature()}"
+            )
+        return Local
+    if b.layout.is_sliced and bdim == 0:
+        raise LayoutError(
+            f"MatMul: weight {b.signature()} is sliced along the contraction "
+            f"dim; the input must be sliced along its last dim"
+        )
+    if a.layout.is_sliced:
+        # batch-dim sliced input
+        if b.layout.is_sliced:
+            raise LayoutError(
+                "MatMul: cannot slice both batch dim of input and weight"
+            )
+        return a.layout
+    if b.layout.is_sliced:  # column parallel: output sliced along last dim
+        if a.layout.is_local:
+            raise LayoutError(
+                "MatMul: local input with column-sliced weight is ambiguous"
+            )
+        return Sliced(a_rank - 1)
+    if a.layout.is_local or b.layout.is_local:
+        return Local
+    return Replicated
+
+
+def require_same_group(*exprs: Expr) -> None:
+    group = exprs[0].group
+    for e in exprs[1:]:
+        if e.group != group:
+            raise LayoutError(
+                f"operands live in different groups: "
+                f"{exprs[0].signature()} in {group}, {e.signature()} in {e.group}"
+            )

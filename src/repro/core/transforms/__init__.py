@@ -1,0 +1,54 @@
+"""CoCoNet's semantics-preserving transformations (Section 3).
+
+* :func:`~repro.core.transforms.schedule.Schedule.split` — break an
+  AllReduce into ReduceScatter + AllGather (§3.1);
+* :func:`~repro.core.transforms.schedule.Schedule.reorder` — move an
+  AllGather past computations / P2P sends, slicing them (§3.2);
+* :func:`~repro.core.transforms.schedule.Schedule.fuse` — merge
+  computations and communication into single kernels (§3.3);
+* :func:`~repro.core.transforms.schedule.Schedule.overlap` — fine-grained
+  overlap of producer-consumer operations (§3.4);
+
+plus the helpers ``asSlice`` and ``dead`` used by the optimized Adam
+schedule of Figure 6b.
+
+The :class:`Schedule` object applies transformations to a program while
+recording each step, so a schedule can be printed and audited — "we
+call an order of transformations a schedule". (The autotuner replays
+schedules from abstract move scripts; see
+:mod:`repro.core.autotuner`.)
+"""
+
+from repro.core.transforms.plan import (
+    ExecutionPlan,
+    FusedBlock,
+    FusePolicy,
+    Kernel,
+    KernelKind,
+    OverlapGroup,
+    SplitPolicy,
+)
+from repro.core.transforms.schedule import Schedule
+
+# Paper-style policy aliases
+ARSplitRSAG = SplitPolicy.AR_SPLIT_RS_AG
+ARSplitReduceBroadcast = SplitPolicy.AR_SPLIT_REDUCE_BCAST
+ComputationFuse = FusePolicy.COMPUTATION
+AllReduceFuse = FusePolicy.ALLREDUCE
+SendFuse = FusePolicy.SEND
+
+__all__ = [
+    "Schedule",
+    "ExecutionPlan",
+    "Kernel",
+    "KernelKind",
+    "FusedBlock",
+    "OverlapGroup",
+    "SplitPolicy",
+    "FusePolicy",
+    "ARSplitRSAG",
+    "ARSplitReduceBroadcast",
+    "ComputationFuse",
+    "AllReduceFuse",
+    "SendFuse",
+]

@@ -1,0 +1,163 @@
+"""The fuse transformation (Section 3.3) and fused collectives (§2.3).
+
+Three policies:
+
+* **Computation Fuse** — "fuses a series of computations in a single
+  operation that performs all these operations";
+* **AllReduce Fuse** — "fuses a series of ReduceScatter, sliced
+  computations, and AllGather operations in a single FusedAllReduce",
+  which "avoids such stores and loads by directly passing the output of
+  communication to following computations through registers";
+* **Send Fuse** — fuses computations into a P2P send (Figure 8b line 1).
+
+Fusion never changes the DFG's semantics — it changes which operations
+share a kernel, recorded in the schedule's execution plan. "Fusing
+multiple operations into one operation is valid only if the dependencies
+in the DFG after fusion are preserved": the member set must be convex.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Union
+
+from repro.core import dfg, ops
+from repro.core.tensor import Expr
+from repro.core.transforms.plan import FusedBlock, FusePolicy
+from repro.errors import TransformError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.transforms.schedule import Schedule
+
+Item = Union[Expr, FusedBlock]
+
+_FUSABLE_COMPUTE = (ops.PointwiseOp, ops.Norm, ops.ReduceTensor)
+
+
+def check_convex(members: Sequence[Expr], roots: Sequence[Expr]) -> None:
+    """Reject fusions that would create a dependency cycle.
+
+    A non-member op that both depends on a member and is depended on by a
+    member would have to run in the middle of the fused kernel.
+    """
+    member_set = set(members)
+    ancestors_of_members = dfg.reachable(list(members)) - member_set
+    for z in dfg.topological(roots):
+        if z in member_set or z.is_leaf:
+            continue
+        if z not in ancestors_of_members:
+            continue  # no member depends on z
+        if member_set & dfg.reachable([z]):
+            raise TransformError(
+                f"fusing would break dependencies: {z.signature()} must "
+                f"execute in the middle of the fused region"
+            )
+
+
+def _flatten(sched: "Schedule", items: Sequence[Item]) -> List[Expr]:
+    members: List[Expr] = []
+    for it in items:
+        if isinstance(it, FusedBlock):
+            members.extend(sched.resolve(m) for m in it.members)
+            sched._dissolve_block(it)
+        else:
+            members.append(sched.resolve(it))
+    return members
+
+
+def apply_fuse(
+    sched: "Schedule", items: Sequence[Item], policy: FusePolicy
+) -> FusedBlock:
+    """Fuse operations / existing blocks into one kernel; returns the block."""
+    members = _flatten(sched, items)
+    prog = sched.program
+    position = {e: i for i, e in enumerate(prog.operations)}
+    for m in members:
+        if m not in position:
+            raise TransformError(
+                f"{m.signature()} is not an operation of the current program"
+            )
+    members = sorted(set(members), key=position.__getitem__)
+    if len(members) < 2:
+        raise TransformError("fuse requires at least two operations")
+    _check_policy(members, policy)
+    check_convex(members, prog.roots)
+    for m in members:
+        existing = sched._block_of(m)
+        if existing is not None:
+            raise TransformError(
+                f"{m.name} already belongs to {existing.name}; pass the "
+                f"block itself to fuse"
+            )
+    block = FusedBlock(policy, members)
+    sched._blocks.append(block)
+    sched._record(
+        f"fuse({', '.join(m.name for m in members)}, {policy.value}) -> "
+        f"{block.name}"
+    )
+    return block
+
+
+def _check_policy(members: Sequence[Expr], policy: FusePolicy) -> None:
+    comm = [m for m in members if isinstance(m, ops.CommOp)]
+    if policy is FusePolicy.COMPUTATION:
+        for m in members:
+            if isinstance(m, ops.CommOp):
+                raise TransformError(
+                    f"ComputationFuse cannot include communication op "
+                    f"{m.signature()}"
+                )
+            if not isinstance(m, _FUSABLE_COMPUTE):
+                raise TransformError(
+                    f"ComputationFuse cannot include {type(m).__name__} "
+                    f"({m.signature()}); matrix ops use library kernels"
+                )
+        return
+    if policy is FusePolicy.ALLREDUCE:
+        if not comm:
+            raise TransformError("AllReduceFuse requires communication ops")
+        scatters = [m for m in comm if isinstance(m, ops.ReduceScatter)]
+        gathers = [m for m in comm if isinstance(m, ops.AllGather)]
+        others = [
+            m
+            for m in comm
+            if not isinstance(m, (ops.ReduceScatter, ops.AllGather, ops.AllReduce))
+        ]
+        if others:
+            raise TransformError(
+                f"AllReduceFuse only fuses ReduceScatter/AllGather/AllReduce, "
+                f"got {type(others[0]).__name__}"
+            )
+        if not scatters and not any(isinstance(m, ops.AllReduce) for m in comm):
+            raise TransformError(
+                "AllReduceFuse requires a ReduceScatter (or AllReduce) member"
+            )
+        if scatters and not gathers:
+            raise TransformError(
+                "AllReduceFuse of a ReduceScatter requires an AllGather to "
+                "restore the replicated layout"
+            )
+        for m in members:
+            if isinstance(m, ops.CommOp):
+                continue
+            if not isinstance(m, _FUSABLE_COMPUTE):
+                raise TransformError(
+                    f"AllReduceFuse cannot fuse {type(m).__name__} "
+                    f"({m.signature()})"
+                )
+        return
+    if policy is FusePolicy.SEND:
+        sends = [m for m in comm if isinstance(m, ops.Send)]
+        if len(sends) != 1 or len(comm) != 1:
+            raise TransformError(
+                "SendFuse requires exactly one Send and no other "
+                "communication ops"
+            )
+        for m in members:
+            if isinstance(m, ops.Send):
+                continue
+            if not isinstance(m, _FUSABLE_COMPUTE):
+                raise TransformError(
+                    f"SendFuse cannot fuse {type(m).__name__} ({m.signature()})"
+                )
+        return
+    raise TransformError(f"unknown fuse policy {policy!r}")

@@ -1,0 +1,78 @@
+"""The overlap transformation (Sections 2.4, 3.4, 5.3).
+
+"CoCoNet provides the overlap transformation to overlap a series of
+producer-consumer operations to utilize multiple resources of hardware
+simultaneously." Validity: "Overlapping multiple operations is valid
+only when all operations have a producer-consumer relationship between
+them."
+
+Overlap does not alter the DFG; it records an :class:`OverlapGroup` in
+the execution plan. The performance model executes overlapped kernels at
+chunk granularity — the producer kernel computes chunks in the order the
+consumer collective communicates them (Figure 9), each kernel launched
+exactly once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence, Union
+
+from repro.core import dfg
+from repro.core.tensor import Expr
+from repro.core.transforms.plan import FusedBlock, OverlapGroup
+from repro.errors import TransformError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.transforms.schedule import Schedule
+
+Item = Union[Expr, FusedBlock]
+
+
+def _item_exprs(item: Item) -> List[Expr]:
+    return item.members if isinstance(item, FusedBlock) else [item]
+
+
+def apply_overlap(sched: "Schedule", items: Sequence[Item]) -> OverlapGroup:
+    """Overlap a producer→consumer chain of operations / fused blocks."""
+    if len(items) < 2:
+        raise TransformError("overlap requires at least two operations")
+    resolved: List[Item] = []
+    for it in items:
+        if isinstance(it, FusedBlock):
+            it.members = [sched.resolve(m) for m in it.members]
+            resolved.append(it)
+        else:
+            resolved.append(sched.resolve(it))
+
+    ops_in_program = set(sched.program.operations)
+    for it in resolved:
+        for e in _item_exprs(it):
+            if e not in ops_in_program:
+                raise TransformError(
+                    f"{e.signature()} is not an operation of the current "
+                    f"program"
+                )
+
+    # Producer-consumer validity: each item's output must feed the next.
+    for producer, consumer in zip(resolved, resolved[1:]):
+        out = _item_exprs(producer)[-1]
+        consumer_exprs = _item_exprs(consumer)
+        consumed = any(
+            out in dfg.reachable(list(c.inputs)) or out in c.inputs
+            for c in consumer_exprs
+        )
+        if not consumed:
+            p_name = producer.name if isinstance(producer, FusedBlock) else producer.name
+            c_name = consumer.name if isinstance(consumer, FusedBlock) else consumer.name
+            raise TransformError(
+                f"overlap requires a producer-consumer relationship: "
+                f"{c_name} does not consume {p_name}"
+            )
+
+    group = OverlapGroup(resolved)
+    sched._overlaps.append(group)
+    names = ", ".join(
+        it.name if isinstance(it, FusedBlock) else it.name for it in resolved
+    )
+    sched._record(f"overlap({names}) -> {group.name}")
+    return group

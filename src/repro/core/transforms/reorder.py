@@ -1,0 +1,260 @@
+"""The reorder transformation (Section 3.2).
+
+"AllGather Reorder reorders an AllGather with communication and
+computation operations. ... (i) the output of AllGather used in the
+computation is replaced by the input of AllGather, and (ii) since the
+input of AllGather is sliced, all tensors input to the computations are
+also sliced along the same dimension as the input of AllGather. ...
+Furthermore, the new AllGather is performed on the outputs of the
+computations."
+
+Validity: "the reorder transformation is valid only if operations being
+reordered with an AllGather can be sliced along the dimension the
+AllGather is performed." Pointwise ops, Dropout, Update and P2P Send are
+sliceable; tensor reductions (Norm/ReduceTensor) remain valid because a
+reduction over a sliced tensor performs a local reduction plus an
+AllReduce (Section 5.2); MatMul/Conv are rejected.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+from repro.core import dfg, inference, ops
+from repro.core.tensor import Expr
+from repro.errors import CoCoNetError, TransformError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.transforms.schedule import Schedule
+
+_SLICEABLE = (
+    ops.PointwiseOp,  # Binary/Unary/Dropout/Cast/Slice/Update
+    ops.Norm,
+    ops.ReduceTensor,
+    ops.Send,
+)
+
+
+def _check_sliceable(op: Expr) -> None:
+    if isinstance(op, (ops.MatMul, ops.Conv2D)):
+        raise TransformError(
+            f"{op.signature()} cannot be reordered with an AllGather: "
+            f"matrix operations are not sliceable along the gather dim"
+        )
+    if not isinstance(op, _SLICEABLE):
+        raise TransformError(
+            f"{type(op).__name__} ({op.signature()}) is not sliceable"
+        )
+
+
+def _slice_operand(
+    inp: Expr, op: Expr, dim: int, cache: Dict[Tuple[int, int], Expr]
+) -> Expr:
+    """Slice a replicated operand of a region op if it spans ``dim``.
+
+    One Slice vertex is shared per (operand, dimension) pair across the
+    region — several consumers of e.g. the parameter tensor read the
+    same slice.
+    """
+    if not inp.layout.is_replicated or not inp.shape:
+        return inp
+    if isinstance(op, (ops.Norm, ops.ReduceTensor)):
+        # Full reductions: slicing any dim preserves the (cross-rank)
+        # reduction semantics; slice along the gather dim when possible.
+        if dim < len(inp.shape) and inp.shape[dim] % inp.group.size == 0:
+            j = dim
+        else:
+            return inp
+    else:
+        out_rank = len(op.shape)
+        j = dim - (out_rank - len(inp.shape))
+        if j < 0 or inp.shape[j] <= 1:
+            return inp
+    key = (id(inp), j)
+    if key not in cache:
+        cache[key] = ops.Slice(inp, j)  # default name is made unique
+    return cache[key]
+
+
+def apply_broadcast_reorder(
+    sched: "Schedule", bc: Expr, region: Sequence[Expr]
+) -> Tuple[List[Expr], List[Expr]]:
+    """Reorder a Broadcast past computations (§3.2 names both forms).
+
+    The computations move *before* the Broadcast: instead of every rank
+    computing on the broadcast value, only the root computes and the
+    results are broadcast. Valid when every region op reads only the
+    broadcast value, replicated operands, or other region ops — the
+    root then has everything it needs.
+    """
+    bc = sched.resolve(bc)
+    if not isinstance(bc, ops.Broadcast):
+        raise TransformError(
+            f"broadcast reorder expects a Broadcast, got {type(bc).__name__}"
+        )
+    region = [sched.resolve(e) for e in region]
+    prog = sched.program
+    position = {e: i for i, e in enumerate(prog.operations)}
+    for e in region:
+        if e not in position:
+            raise TransformError(
+                f"{e.signature()} is not an operation of the current program"
+            )
+    region = sorted(set(region), key=position.__getitem__)
+    region_set = set(region)
+    users = dfg.users_map(prog.roots)
+    for u in users.get(bc, []):
+        if u not in region_set:
+            raise TransformError(
+                f"cannot reorder: {u.signature()} consumes {bc.name} but "
+                f"is not part of the reordered region"
+            )
+    src = bc.inputs[0]
+    for op in region:
+        if not isinstance(op, ops.PointwiseOp):
+            raise TransformError(
+                f"{type(op).__name__} cannot be reordered with a Broadcast"
+            )
+        for inp in op.inputs:
+            ok = (
+                inp is bc
+                or inp in region_set
+                or inp.layout.is_replicated
+            )
+            if not ok:
+                raise TransformError(
+                    f"{op.name} reads non-replicated {inp.signature()}; "
+                    f"the root cannot compute it before the Broadcast"
+                )
+    mapping: Dict[Expr, Expr] = {bc: src}
+    new_region: List[Expr] = []
+    for op in region:
+        new_inputs = tuple(mapping.get(i, i) for i in op.inputs)
+        clone = dfg.clone_with_inputs(op, new_inputs)
+        mapping[op] = clone
+        new_region.append(clone)
+    live_outs = dfg.region_live_outs(region, prog.roots)
+    broadcasts: List[Expr] = []
+    out_mapping: Dict[Expr, Expr] = {}
+    for lo in live_outs:
+        new_bc = ops.Broadcast(mapping[lo], root=bc.root, name=f"bc_{lo.name}")
+        broadcasts.append(new_bc)
+        out_mapping[lo] = new_bc
+    sched._apply_rewrite(
+        {**mapping, **out_mapping},
+        fwd_overrides={op: mapping[op] for op in region},
+    )
+    new_region = [sched.resolve(e) for e in new_region]
+    broadcasts = [sched.resolve(b) for b in broadcasts]
+    sched._record(
+        f"reorder({bc.name} | {', '.join(o.name for o in region)}) -> "
+        f"({', '.join(o.name for o in new_region + broadcasts)})"
+    )
+    return new_region, broadcasts
+
+
+def apply_reorder(
+    sched: "Schedule", ag: Expr, region: Sequence[Expr]
+) -> Tuple[List[Expr], List[ops.AllGather]]:
+    """Reorder ``ag`` past the ops in ``region``.
+
+    Returns the sliced clones of the region ops (in topological order)
+    and the new AllGathers over the region's live-out values.
+    """
+    ag = sched.resolve(ag)
+    if isinstance(ag, ops.Broadcast):
+        return apply_broadcast_reorder(sched, ag, region)
+    if not isinstance(ag, ops.AllGather):
+        raise TransformError(
+            f"reorder expects an AllGather, got {type(ag).__name__}"
+        )
+    region = [sched.resolve(e) for e in region]
+
+    prog = sched.program
+    # Order region ops topologically within the current program.
+    position = {e: i for i, e in enumerate(prog.operations)}
+    for e in region:
+        if e not in position:
+            raise TransformError(
+                f"{e.signature()} is not an operation of the current program"
+            )
+    region = sorted(set(region), key=position.__getitem__)
+    region_set = set(region)
+
+    users = dfg.users_map(prog.roots)
+    for u in users.get(ag, []):
+        if u not in region_set:
+            raise TransformError(
+                f"cannot reorder: {u.signature()} consumes {ag.name} but is "
+                f"not part of the reordered region"
+            )
+    if ag in prog.roots:
+        raise TransformError(
+            f"cannot reorder: {ag.name} is a program output; include its "
+            f"consumers in the region"
+        )
+    for op in region:
+        _check_sliceable(op)
+
+    dim = ag.dim
+    rs_out = ag.inputs[0]
+    live_outs = dfg.region_live_outs(region, prog.roots)
+
+    # Build sliced clones of the region, substituting ag -> its input and
+    # slicing replicated operands that span the gather dimension.
+    mapping: Dict[Expr, Expr] = {ag: rs_out}
+    slice_cache: Dict[Tuple[int, int], Expr] = {}
+    new_region: List[Expr] = []
+    for op in region:
+        new_inputs = []
+        for inp in op.inputs:
+            cur = mapping.get(inp, inp)
+            if inp not in mapping:
+                cur = _slice_operand(cur, op, dim, slice_cache)
+            new_inputs.append(cur)
+        try:
+            clone = dfg.clone_with_inputs(op, tuple(new_inputs))
+        except CoCoNetError as err:
+            raise TransformError(
+                f"reorder cannot slice {op.signature()}: {err}"
+            ) from err
+        mapping[op] = clone
+        new_region.append(clone)
+
+    # New AllGathers over live-out values; gathers of in-place Updates
+    # write the gathered value back to the (still replicated) target.
+    gathers: List[ops.AllGather] = []
+    out_mapping: Dict[Expr, Expr] = {}
+    effect_gathers: List[ops.AllGather] = []
+    root_set = set(prog.roots)
+    for lo in live_outs:
+        new_lo = mapping[lo]
+        if not new_lo.layout.is_sliced:
+            out_mapping[lo] = new_lo
+            continue
+        g = ops.AllGather(new_lo, name=f"ag_{lo.name}")
+        if isinstance(lo, ops.Update) and lo.target.layout.is_replicated:
+            g.writeback = lo.target
+        gathers.append(g)
+        out_mapping[lo] = g
+        has_external_use = any(
+            u not in region_set for u in users.get(lo, [])
+        ) or lo in root_set
+        if not has_external_use:
+            effect_gathers.append(g)
+
+    # External users of a live-out see its AllGather; handles to the op
+    # itself (fused-block members, later transforms) follow the sliced
+    # clone.
+    sched._apply_rewrite(
+        {**mapping, **out_mapping},
+        extra_effects=effect_gathers,
+        fwd_overrides={op: mapping[op] for op in region},
+    )
+    new_region = [sched.resolve(e) for e in new_region]
+    gathers = [sched.resolve(g) for g in gathers]
+    sched._record(
+        f"reorder({ag.name} | {', '.join(o.name for o in region)}) -> "
+        f"({', '.join(o.name for o in new_region + gathers)})"
+    )
+    return new_region, gathers

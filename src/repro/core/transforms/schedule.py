@@ -1,0 +1,250 @@
+"""The Schedule: apply, record, and replay transformations.
+
+"We call an order of transformations a schedule. A user can manually
+specify the schedule to optimize the program" (Section 3). A
+:class:`Schedule` owns the current (rewritten) program, the fusion blocks
+and overlap groups, and a textual record of every step. Old expression
+handles remain usable across rewrites — the schedule chases them to
+their current versions, so code written against the paper's examples
+works verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core import dfg, ops
+from repro.core.program import Program
+from repro.core.tensor import Expr, Tensor
+from repro.core.transforms import fuse as _fuse
+from repro.core.transforms import overlap as _overlap
+from repro.core.transforms import reorder as _reorder
+from repro.core.transforms import slicing as _slicing
+from repro.core.transforms import split as _split
+from repro.core.transforms.plan import (
+    ExecutionPlan,
+    FusedBlock,
+    FusePolicy,
+    Kernel,
+    KernelKind,
+    OverlapGroup,
+    SplitPolicy,
+    singleton_kind,
+)
+from repro.errors import TransformError
+
+Item = Union[Expr, FusedBlock]
+
+
+class Schedule:
+    """A program plus an ordered list of applied transformations."""
+
+    def __init__(self, program: Program) -> None:
+        self.original = program
+        self.program = program
+        self.steps: List[str] = []
+        self._fwd: Dict[Expr, Expr] = {}
+        self._blocks: List[FusedBlock] = []
+        self._overlaps: List[OverlapGroup] = []
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def resolve(self, e: Expr) -> Expr:
+        """Chase an expression to its current version in the program."""
+        seen = {id(e)}
+        while e in self._fwd and self._fwd[e] is not e:
+            e = self._fwd[e]
+            if id(e) in seen:
+                break
+            seen.add(id(e))
+        return e
+
+    def _record(self, step: str) -> None:
+        self.steps.append(step)
+
+    def _set_program(self, program: Program) -> None:
+        self.program = program
+
+    def _block_of(self, e: Expr) -> Optional[FusedBlock]:
+        for b in self._blocks:
+            if any(m is e for m in b.members):
+                return b
+        return None
+
+    def _dissolve_block(self, block: FusedBlock) -> None:
+        self._blocks = [b for b in self._blocks if b is not block]
+
+    def _apply_rewrite(
+        self,
+        mapping: Mapping[Expr, Expr],
+        leaf_map: "Mapping[Expr, Expr] | None" = None,
+        extra_effects: Sequence[Expr] = (),
+        fwd_overrides: "Mapping[Expr, Expr] | None" = None,
+    ) -> None:
+        """Rewrite the program under ``mapping``.
+
+        ``fwd_overrides`` adjusts how *handles* resolve when that differs
+        from the structural rewrite: reorder rewrites external users of a
+        live-out to its new AllGather, but a handle to the op itself must
+        resolve to its sliced clone (e.g. for later fusion).
+        """
+        prog = self.program
+        roots = list(prog.outputs) + list(prog.effects) + list(extra_effects)
+        new_roots, memo = dfg.rewrite(roots, mapping, leaf_map)
+        n_out = len(prog.outputs)
+        outputs = new_roots[:n_out]
+        effects = new_roots[n_out:]
+        # Deduplicate effects while preserving order.
+        seen: set = set()
+        effects = [
+            e for e in effects if not (id(e) in seen or seen.add(id(e)))
+        ]
+        inputs = list(prog.inputs)
+        if leaf_map:
+            inputs = [leaf_map.get(i, i) for i in inputs]
+        for old, new in memo.items():
+            if old is not new:
+                self._fwd[old] = new
+        if leaf_map:
+            for old, new in leaf_map.items():
+                if old is not new:
+                    self._fwd[old] = new
+        if fwd_overrides:
+            for old, new in fwd_overrides.items():
+                if old is not new:
+                    self._fwd[old] = new
+        for b in self._blocks:
+            b.members = [self.resolve(m) for m in b.members]
+        for g in self._overlaps:
+            g.items = [
+                it if isinstance(it, FusedBlock) else self.resolve(it)
+                for it in g.items
+            ]
+        self._set_program(Program(prog.name, inputs, outputs, effects))
+
+    # -- the four transformations + helpers -----------------------------------
+
+    def split(
+        self,
+        ar: Expr,
+        policy: SplitPolicy = SplitPolicy.AR_SPLIT_RS_AG,
+        dim: "int | None" = None,
+    ) -> Tuple[Expr, Expr]:
+        """AllReduce → (ReduceScatter, AllGather) [or Reduce+Broadcast]."""
+        return _split.apply_split(self, ar, policy, dim)
+
+    def reorder(self, ag: Expr, *region: Item) -> Tuple[Expr, ...]:
+        """Move an AllGather past computations; returns sliced clones + gathers.
+
+        Accepts fused blocks as region items (Figure 6b reorders a fused
+        computation block); a block in the region is returned as a new
+        block over the sliced clones.
+        """
+        blocks = [it for it in region if isinstance(it, FusedBlock)]
+        exprs: List[Expr] = []
+        for it in region:
+            if isinstance(it, FusedBlock):
+                exprs.extend(it.members)
+            else:
+                exprs.append(it)
+        new_region, gathers = _reorder.apply_reorder(self, ag, exprs)
+        if blocks:
+            # Blocks were remapped in-place by _apply_rewrite; return them.
+            return tuple(blocks) + tuple(gathers)
+        return tuple(new_region) + tuple(gathers)
+
+    def fuse(self, *items: Item, policy: FusePolicy) -> FusedBlock:
+        """Fuse operations (or blocks) into a single kernel."""
+        return _fuse.apply_fuse(self, items, policy)
+
+    def overlap(self, *items: Item) -> OverlapGroup:
+        """Overlap a producer→consumer chain of kernels."""
+        return _overlap.apply_overlap(self, items)
+
+    def unfuse(self, block: FusedBlock) -> List[Expr]:
+        """Dissolve a fused block back into per-op kernels.
+
+        Returns the (current) member expressions so they can be fused
+        differently — used e.g. to derive GShard-style unfused schedules
+        from a fused one.
+        """
+        members = [self.resolve(m) for m in block.members]
+        self._dissolve_block(block)
+        self._record(f"unfuse({block.name})")
+        return members
+
+    def as_slice(self, tensor: Tensor, dim: int = 0) -> Tensor:
+        """Re-declare a replicated input tensor as sliced (``asSlice``)."""
+        return _slicing.apply_as_slice(self, tensor, dim)
+
+    asSlice = as_slice  # paper spelling
+
+    def dead(self, var: Expr) -> None:
+        """Remove a no-longer-needed side-effect op (``dead``)."""
+        _slicing.apply_dead(self, var)
+
+    # -- plan derivation -------------------------------------------------------
+
+    def plan(self) -> ExecutionPlan:
+        """Derive the execution plan: kernels + overlap groups."""
+        operations = self.program.operations
+        op_set = set(operations)
+        block_of: Dict[Expr, FusedBlock] = {}
+        for b in self._blocks:
+            b.members = [m for m in (self.resolve(x) for x in b.members) if m in op_set]
+            for m in b.members:
+                block_of[m] = b
+
+        kernels: List[Kernel] = []
+        emitted: set = set()
+        position = {e: i for i, e in enumerate(operations)}
+        for e in operations:
+            if e in emitted:
+                continue
+            b = block_of.get(e)
+            if b is None:
+                kernels.append(Kernel(e.name, singleton_kind(e), (e,)))
+                emitted.add(e)
+            else:
+                last = max(b.members, key=position.__getitem__)
+                if e is not last:
+                    continue  # emit at the block's last member
+                members = tuple(sorted(b.members, key=position.__getitem__))
+                kernels.append(Kernel(b.name, b.kernel_kind(), members))
+                emitted.update(members)
+
+        kernel_name_of: Dict[int, str] = {}
+        for k in kernels:
+            for e in k.exprs:
+                kernel_name_of[id(e)] = k.name
+        groups: List[List[str]] = []
+        for g in self._overlaps:
+            names: List[str] = []
+            for it in g.items:
+                exprs = it.members if isinstance(it, FusedBlock) else [it]
+                for e in exprs:
+                    e = self.resolve(e)
+                    name = kernel_name_of.get(id(e))
+                    if name is not None and name not in names:
+                        names.append(name)
+            if len(names) >= 2:
+                groups.append(names)
+        return ExecutionPlan(kernels, groups)
+
+    # -- reporting --------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable record of the applied transformations."""
+        if not self.steps:
+            return f"{self.program.name}: default schedule (no transformations)"
+        return "\n".join(self.steps)
+
+    def dsl_line_count(self) -> int:
+        """Program + schedule lines ('Program in CoCoNet', Table 3)."""
+        return self.original.dsl_line_count() + len(self.steps)
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule({self.program.name!r}, {len(self.steps)} steps, "
+            f"{len(self._blocks)} fused blocks, {len(self._overlaps)} overlaps)"
+        )

@@ -1,0 +1,86 @@
+"""Storage transformations: ``asSlice`` and ``dead`` (Section 4).
+
+Figure 6b line 6: ``asSlice(m); asSlice(v); dead(agM); dead(agV);`` —
+"slices optimizer states on all ranks to decrease memory usage and
+removes corresponding AllGather." ``asSlice`` changes an input tensor's
+declared layout from replicated to sliced (collapsing Slice ops on it);
+``dead`` removes a side-effect operation nothing depends on.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core import dfg, ops
+from repro.core.process_group import RANK
+from repro.core.tensor import Expr, Tensor
+from repro.core.layout import Sliced
+from repro.errors import CoCoNetError, TransformError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.transforms.schedule import Schedule
+
+
+def apply_as_slice(sched: "Schedule", tensor: Tensor, dim: int = 0) -> Tensor:
+    """Re-declare an input tensor as sliced along ``dim``.
+
+    Slice ops over the tensor along the same dimension collapse into
+    direct uses of the (now sliced) tensor. Any use that genuinely needs
+    the replicated value raises, making the transformation safe.
+    """
+    tensor = sched.resolve(tensor)
+    if not isinstance(tensor, Tensor):
+        raise TransformError("asSlice expects an input Tensor")
+    if not tensor.layout.is_replicated:
+        raise TransformError(
+            f"asSlice expects a replicated tensor, got {tensor.signature()}"
+        )
+    new_t = Tensor(
+        tensor.dtype,
+        tensor.shape,
+        Sliced(dim),
+        tensor.group,
+        RANK,
+        name=tensor.name,
+    )
+    mapping = {tensor: new_t}
+    for e in dfg.topological(sched.program.roots):
+        is_matching_slice = (
+            isinstance(e, ops.Slice)
+            and e.inputs[0] is tensor
+            and e.layout.dim == dim
+        )
+        if is_matching_slice:
+            mapping[e] = new_t
+    try:
+        sched._apply_rewrite(mapping, leaf_map={tensor: new_t})
+    except CoCoNetError as err:
+        raise TransformError(
+            f"asSlice({tensor.name}) is invalid: a use requires the "
+            f"replicated value ({err})"
+        ) from err
+    sched._record(f"asSlice({tensor.name}, dim={dim})")
+    return new_t
+
+
+def apply_dead(sched: "Schedule", var: Expr) -> None:
+    """Remove a side-effect operation that is no longer needed."""
+    var = sched.resolve(var)
+    prog = sched.program
+    if var in prog.outputs:
+        raise TransformError(f"dead({var.name}): it is a program output")
+    users = dfg.users_map(prog.roots)
+    if users.get(var):
+        names = ", ".join(u.name for u in users[var])
+        raise TransformError(f"dead({var.name}): still consumed by {names}")
+    if var not in prog.effects:
+        if var in set(prog.operations):
+            raise TransformError(
+                f"dead({var.name}): operation is reachable from the outputs"
+            )
+        return  # already gone
+    effects = tuple(e for e in prog.effects if e is not var)
+    sched._set_program(
+        type(prog)(prog.name, prog.inputs, prog.outputs, effects)
+    )
+    sched._record(f"dead({var.name})")

@@ -1,0 +1,77 @@
+"""The split transformation (Section 3.1).
+
+"The split transformation breaks a collective communication operation
+into two communication operations." The primary policy is **AllReduce
+Split RS-AG**: AllReduce → ReduceScatter (producing a sliced tensor) +
+AllGather (restoring a replicated tensor). "Since an AllReduce can always
+be split to a ReduceScatter and an AllGather, this transformation is
+always valid."
+
+A second, classic equivalence is provided as ``ARSplitReduceBroadcast``:
+AllReduce → Reduce-to-root + Broadcast.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.core import ops
+from repro.core.tensor import Expr
+from repro.core.transforms.plan import SplitPolicy
+from repro.errors import LayoutError, TransformError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.transforms.schedule import Schedule
+
+
+def choose_slice_dim(x: Expr, preferred: int = 0) -> int:
+    """First dimension of ``x`` evenly divisible by its group size.
+
+    NCCL slices the flat buffer; at the DSL level we slice a concrete
+    dimension, so pick one that divides evenly (preferring ``preferred``).
+    """
+    size = x.group.size
+    dims = [preferred] + [d for d in range(len(x.shape)) if d != preferred]
+    for d in dims:
+        if d < len(x.shape) and x.shape[d] % size == 0:
+            return d
+    raise TransformError(
+        f"no dimension of {x.signature()} is divisible by group size {size}"
+    )
+
+
+def apply_split(
+    sched: "Schedule",
+    ar: Expr,
+    policy: SplitPolicy = SplitPolicy.AR_SPLIT_RS_AG,
+    dim: "int | None" = None,
+) -> Tuple[Expr, Expr]:
+    """Split an AllReduce; returns the two replacement operations."""
+    ar = sched.resolve(ar)
+    if not isinstance(ar, ops.AllReduce):
+        raise TransformError(
+            f"split expects an AllReduce, got {type(ar).__name__} "
+            f"({ar.signature()})"
+        )
+    x = ar.inputs[0]
+    if policy is SplitPolicy.AR_SPLIT_RS_AG:
+        slice_dim = choose_slice_dim(x) if dim is None else dim
+        try:
+            rs = ops.ReduceScatter(
+                ar.reduction, x, dim=slice_dim, name=f"rs_{ar.name}"
+            )
+        except LayoutError as err:
+            raise TransformError(str(err)) from err
+        ag = ops.AllGather(rs, name=f"ag_{ar.name}")
+        sched._apply_rewrite({ar: ag})
+        sched._record(f"split({ar.name}, ARSplitRSAG) -> ({rs.name}, {ag.name})")
+        return sched.resolve(rs), sched.resolve(ag)
+    if policy is SplitPolicy.AR_SPLIT_REDUCE_BCAST:
+        red = ops.Reduce(ar.reduction, x, root=0, name=f"red_{ar.name}")
+        bc = ops.Broadcast(red, root=0, name=f"bc_{ar.name}")
+        sched._apply_rewrite({ar: bc})
+        sched._record(
+            f"split({ar.name}, ARSplitReduceBroadcast) -> ({red.name}, {bc.name})"
+        )
+        return sched.resolve(red), sched.resolve(bc)
+    raise TransformError(f"unknown split policy {policy!r}")

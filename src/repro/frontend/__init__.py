@@ -1,0 +1,9 @@
+"""Framework integration (Section 5.5)."""
+
+from repro.frontend.integration import (
+    CoCoNetFunction,
+    DistributedModule,
+    distributed,
+)
+
+__all__ = ["CoCoNetFunction", "DistributedModule", "distributed"]

@@ -1,0 +1,102 @@
+"""Three-level tiling: buffer tiles and chunks (§5.1) and the chunk
+ordering that drives fine-grained overlap (§5.3, Figure 9).
+
+"Data is first divided into buffer tiles equal to the size of the
+communication buffer. Each buffer tile is further divided among all
+ranks and channels to obtain chunks. Each channel communicates a chunk
+of data at a time."
+
+For the overlap of MatMul with ring AllReduce, "the n-th rank sends the
+chunks to the next node in the order starting from the n-th chunk", so
+the producer kernel must emit chunks in exactly that order — Figure 9
+shows rank 0 starting at chunk 0 and rank 1 at chunk 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+#: Default NCCL communication buffer size per channel (4 MiB).
+DEFAULT_BUFFER_BYTES = 4 * 1024 * 1024
+
+
+def chunk_order(rank: int, num_chunks: int) -> List[int]:
+    """Order in which ``rank`` processes the chunks of one buffer tile.
+
+    Rank ``r`` starts at chunk ``r`` and wraps around — the ring
+    AllReduce send order of Figure 9.
+    """
+    if num_chunks <= 0:
+        raise ValueError("num_chunks must be positive")
+    return [(rank + i) % num_chunks for i in range(num_chunks)]
+
+
+def tile_chunks(
+    total_bytes: int,
+    group_size: int,
+    channels: int,
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+) -> Tuple[int, int]:
+    """Split a buffer into (num_tiles, chunks_per_tile).
+
+    Each tile holds at most ``buffer_bytes`` per channel aggregated over
+    channels; each tile is divided among the group's ranks into chunks.
+    """
+    if total_bytes <= 0:
+        return 0, group_size
+    tile_bytes = buffer_bytes * max(1, channels)
+    num_tiles = max(1, -(-total_bytes // tile_bytes))
+    return num_tiles, group_size
+
+
+@dataclass(frozen=True)
+class ChunkSchedule:
+    """Full chunk schedule of one rank over a buffer (Figure 9).
+
+    ``sequence`` lists global chunk ids in the order this rank's
+    producer kernel must emit them: tile by tile, within each tile
+    starting at the rank's own chunk index.
+    """
+
+    rank: int
+    num_tiles: int
+    chunks_per_tile: int
+    sequence: Tuple[int, ...]
+
+    @property
+    def total_chunks(self) -> int:
+        return self.num_tiles * self.chunks_per_tile
+
+
+def chunk_schedule(
+    rank: int,
+    total_bytes: int,
+    group_size: int,
+    channels: int = 1,
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+) -> ChunkSchedule:
+    """The chunk emission order for ``rank`` over the whole buffer."""
+    num_tiles, per_tile = tile_chunks(
+        total_bytes, group_size, channels, buffer_bytes
+    )
+    seq: List[int] = []
+    for t in range(num_tiles):
+        base = t * per_tile
+        seq.extend(base + c for c in chunk_order(rank, per_tile))
+    return ChunkSchedule(rank, num_tiles, per_tile, tuple(seq))
+
+
+def matmul_chunk_grid(
+    m: int, n: int, group_size: int, target_chunks: "int | None" = None
+) -> Tuple[int, int]:
+    """2-D chunk grid for overlapping a GEMM with a collective (§5.3).
+
+    "CoCoNet generates a 2-D AllReduce kernel that communicates 2-D
+    chunks, while NCCL AllReduce only supports 1-D continuous chunk."
+    Returns (rows_per_chunk, cols_per_chunk); the grid has at least
+    ``group_size`` chunks so every rank has a distinct starting chunk.
+    """
+    chunks = target_chunks or group_size
+    rows = max(1, m // chunks)
+    return rows, n

@@ -1,0 +1,155 @@
+"""Analytic cost model for collectives over the simulated cluster.
+
+Follows the standard alpha-beta decomposition of ring/tree collectives,
+parameterized by the NCCL protocol, channel count, and the cluster's
+link structure:
+
+* **bandwidth term** — wire bytes per rank divided by the achieved bus
+  bandwidth. Bus bandwidth is the minimum of (i) the per-GPU NVSwitch
+  injection bandwidth, (ii) what the active channels' copy engines can
+  move, and (iii) for rings spanning nodes, the NICs usable by the
+  channels — all scaled by the protocol's wire efficiency;
+* **latency term** — the sequential step count of the algorithm times
+  the per-step (protocol- and link-dependent) latency;
+* **per-call overhead** — kernel launch plus NCCL proxy/stream setup,
+  which is what penalizes multi-kernel schedules at small sizes
+  ("multiple kernel calls required for GShard-Eq schedules
+  significantly hurt performance", §6.1.1).
+
+Constants are calibrated so the reproduction matches the paper's
+crossovers and factors; see EXPERIMENTS.md for paper-vs-model numbers.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.cluster.topology import Cluster
+from repro.errors import CoCoNetError
+from repro.nccl.protocol import Protocol
+from repro.nccl.ring import Ring
+from repro.nccl.algorithms import num_steps, tree_depth
+
+
+class Algorithm(Enum):
+    RING = "ring"
+    TREE = "tree"
+
+
+#: One NCCL channel's CUDA copy throughput (bytes/s) before protocol
+#: efficiency: a single thread-block can't saturate NVSwitch.
+PER_CHANNEL_BANDWIDTH = 22e9
+
+#: Fraction of theoretical link bandwidth NCCL achieves in steady state.
+IMPLEMENTATION_EFFICIENCY = 0.85
+
+#: Per-collective-call fixed cost: stream/proxy bookkeeping beyond the
+#: raw kernel launch.
+CALL_SETUP_OVERHEAD = 6e-6
+
+#: Tree turnover: non-pipelined parent/child hand-offs cost more per hop.
+TREE_HOP_PENALTY = 2.5
+
+#: Trees trade bandwidth for latency relative to rings: the double
+#: binary tree's interior ranks both send and receive on each edge,
+#: and NCCL's tree path reaches a much lower fraction of link peak,
+#: which is why its tuning prefers rings beyond a few hundred KB.
+TREE_BANDWIDTH_FACTOR = 0.35
+
+
+def ring_bus_bandwidth(
+    cluster: Cluster, ring: Ring, protocol: Protocol, channels: int
+) -> float:
+    """Achieved bus bandwidth of a ring with ``channels`` channels."""
+    node = cluster.node
+    limit = min(
+        node.gpu_fabric_bandwidth,
+        channels * PER_CHANNEL_BANDWIDTH,
+    )
+    if ring.spans_nodes():
+        usable_nics = min(channels, node.nics_per_node)
+        limit = min(limit, usable_nics * node.nic.bandwidth)
+    return limit * protocol.bw_efficiency * IMPLEMENTATION_EFFICIENCY
+
+
+def _wire_bytes(kind: str, nbytes: int, n: int) -> float:
+    """Bytes each rank moves through its ring edge."""
+    if n <= 1:
+        return 0.0
+    if kind == "allreduce":
+        return 2.0 * (n - 1) / n * nbytes
+    if kind in ("reducescatter", "allgather"):
+        return float(n - 1) / n * nbytes
+    if kind in ("broadcast", "reduce"):
+        return float(nbytes)
+    raise CoCoNetError(f"unknown collective {kind!r}")
+
+
+def _tree_latency(
+    cluster: Cluster, ring: Ring, protocol: Protocol, kind: str
+) -> float:
+    """Latency of the (double binary) tree algorithm."""
+    n = ring.size
+    nodes_spanned = max(1, ring.inter_edges)
+    intra_ranks = max(1, n // nodes_spanned)
+    intra_hops = tree_depth(intra_ranks)
+    inter_hops = tree_depth(nodes_spanned)
+    one_way = (
+        intra_hops * protocol.hop_latency_intra
+        + inter_hops * protocol.hop_latency_inter
+    ) * TREE_HOP_PENALTY
+    passes = 2 if kind == "allreduce" else 1  # reduce up + broadcast down
+    return passes * one_way
+
+
+def collective_time(
+    kind: str,
+    nbytes: int,
+    cluster: Cluster,
+    ring: Ring,
+    protocol: Protocol,
+    channels: int,
+    algorithm: Algorithm = Algorithm.RING,
+    include_setup: bool = True,
+) -> float:
+    """Time of one collective call (excluding the kernel launch itself)."""
+    n = ring.size
+    if n <= 1 or nbytes <= 0:
+        return CALL_SETUP_OVERHEAD if include_setup else 0.0
+    busbw = ring_bus_bandwidth(cluster, ring, protocol, channels)
+    if algorithm is Algorithm.TREE:
+        if kind not in ("allreduce", "broadcast", "reduce"):
+            raise CoCoNetError(f"tree algorithm does not support {kind}")
+        factor = 2.0 if kind == "allreduce" else 1.0
+        bw_time = factor * nbytes / (busbw * TREE_BANDWIDTH_FACTOR)
+        lat = _tree_latency(cluster, ring, protocol, kind)
+    else:
+        bw_time = _wire_bytes(kind, nbytes, n) / busbw
+        lat = num_steps(kind, n) * ring.average_hop_latency(protocol)
+    setup = CALL_SETUP_OVERHEAD if include_setup else 0.0
+    return lat + bw_time + setup
+
+
+def p2p_time(
+    nbytes: int,
+    cluster: Cluster,
+    concurrent_pairs: int = 1,
+    intra_node: bool = False,
+    include_setup: bool = True,
+) -> float:
+    """Time of point-to-point sends between paired ranks.
+
+    ``concurrent_pairs`` pairs share the available path: intra-node
+    pairs share nothing relevant (NVSwitch is non-blocking); inter-node
+    pairs share the source node's NICs.
+    """
+    node = cluster.node
+    if intra_node:
+        bw = node.gpu_fabric_bandwidth
+        lat = node.nvlink.latency
+    else:
+        bw = node.node_network_bandwidth / max(1, concurrent_pairs)
+        bw = min(bw, node.nic.bandwidth * node.nics_per_node)
+        lat = node.nic.latency
+    setup = CALL_SETUP_OVERHEAD if include_setup else 0.0
+    return lat + nbytes / (bw * IMPLEMENTATION_EFFICIENCY) + setup

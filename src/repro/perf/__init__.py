@@ -1,0 +1,21 @@
+"""Discrete-event performance model.
+
+Maps a scheduled program's execution plan onto simulated hardware
+resources (GPU compute, NVSwitch fabrics, InfiniBand) and computes the
+makespan. Overlap groups execute at chunk granularity with
+producer-consumer dependencies between chunks — the fine-grained
+synchronization of Section 5.3 / Figure 9.
+"""
+
+from repro.perf.engine import Engine, Task, Timeline
+from repro.perf.kernel_cost import CostParams, pointwise_time
+from repro.perf.program_cost import ProgramCostModel
+
+__all__ = [
+    "Engine",
+    "Task",
+    "Timeline",
+    "CostParams",
+    "pointwise_time",
+    "ProgramCostModel",
+]

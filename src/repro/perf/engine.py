@@ -1,0 +1,108 @@
+"""A small discrete-event simulator: tasks, resources, dependencies.
+
+Tasks occupy one resource each for a fixed duration and may depend on
+other tasks. Resources process one task at a time (a GPU's compute
+stream, a node's NVSwitch fabric, the IB NICs). The engine performs
+greedy list scheduling: among ready tasks, always start the one that
+can begin earliest — which models in-order streams and FIFO hardware
+queues well enough for kernel-granularity simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CoCoNetError
+
+
+@dataclass
+class Task:
+    """One unit of work on one resource."""
+
+    name: str
+    resource: str
+    duration: float
+    deps: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise CoCoNetError(f"task {self.name}: negative duration")
+
+
+@dataclass
+class Timeline:
+    """Start/end times of every scheduled task."""
+
+    spans: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    @property
+    def makespan(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(end for _, end in self.spans.values())
+
+    def start(self, name: str) -> float:
+        return self.spans[name][0]
+
+    def end(self, name: str) -> float:
+        return self.spans[name][1]
+
+    def busy_time(self, resource_prefix: str, tasks: Sequence[Task]) -> float:
+        """Total occupied time of resources whose name has the prefix."""
+        return sum(
+            self.spans[t.name][1] - self.spans[t.name][0]
+            for t in tasks
+            if t.resource.startswith(resource_prefix) and t.name in self.spans
+        )
+
+    def describe(self, limit: Optional[int] = None) -> str:
+        items = sorted(self.spans.items(), key=lambda kv: kv[1][0])
+        if limit is not None:
+            items = items[:limit]
+        return "\n".join(
+            f"{s * 1e6:10.1f} .. {e * 1e6:10.1f} us  {name}"
+            for name, (s, e) in items
+        )
+
+
+class Engine:
+    """Greedy list scheduler over dependent tasks."""
+
+    def run(self, tasks: Sequence[Task]) -> Timeline:
+        by_name = {t.name: t for t in tasks}
+        if len(by_name) != len(tasks):
+            raise CoCoNetError("duplicate task names")
+        for t in tasks:
+            for d in t.deps:
+                if d not in by_name:
+                    raise CoCoNetError(
+                        f"task {t.name} depends on unknown task {d!r}"
+                    )
+        timeline = Timeline()
+        resource_free: Dict[str, float] = {}
+        pending: List[Task] = list(tasks)
+        scheduled: set = set()
+        while pending:
+            best_idx = -1
+            best_start = float("inf")
+            for i, t in enumerate(pending):
+                if any(d not in scheduled for d in t.deps):
+                    continue
+                ready = max(
+                    (timeline.end(d) for d in t.deps), default=0.0
+                )
+                start = max(ready, resource_free.get(t.resource, 0.0))
+                if start < best_start:
+                    best_start, best_idx = start, i
+            if best_idx < 0:
+                names = [t.name for t in pending]
+                raise CoCoNetError(
+                    f"dependency cycle among tasks: {names[:5]}..."
+                )
+            t = pending.pop(best_idx)
+            end = best_start + t.duration
+            timeline.spans[t.name] = (best_start, end)
+            resource_free[t.resource] = end
+            scheduled.add(t.name)
+        return timeline

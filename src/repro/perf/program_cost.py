@@ -1,0 +1,460 @@
+"""Program-level cost model: execution plan → simulated time.
+
+Turns a scheduled program into a task graph over simulated resources
+and runs the discrete-event engine:
+
+* every kernel becomes one task (GPU stream, node fabric, or IB NICs);
+* kernels outside overlap groups are serialized per stream, as a single
+  CUDA stream would;
+* overlap groups are decomposed into chunk tasks with the
+  producer-consumer chunk dependencies of Figure 9 — chunk *c* of the
+  consumer waits for chunk *c* of the producer, each kernel is launched
+  once, and a per-chunk spin-lock synchronization cost is charged.
+
+This model is the autotuner's objective function and the basis of every
+benchmark figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.cluster.gpu import GPU, TESLA_V100
+from repro.cluster.topology import Cluster
+from repro.core import ops
+from repro.core.program import Program
+from repro.core.tensor import Const, Expr
+from repro.core.transforms.plan import ExecutionPlan, Kernel, KernelKind
+from repro.core.transforms.schedule import Schedule
+from repro.errors import CoCoNetError
+from repro.nccl.config import CHANNEL_CHOICES, choose_config
+from repro.nccl.cost_model import Algorithm, collective_time, p2p_time
+from repro.nccl.protocol import ALL_PROTOCOLS, Protocol
+from repro.nccl.ring import build_ring
+from repro.perf import kernel_cost
+from repro.perf.engine import Engine, Task, Timeline
+
+#: Cost of one fine-grained spin-lock wake between overlapped kernels
+#: ("an efficient fine-grained spin-lock on a memory buffer", §5.3).
+SPINLOCK_SYNC_OVERHEAD = 1.2e-6
+
+
+@dataclass
+class KernelCost:
+    """Cost decomposition of one kernel."""
+
+    duration: float          # total, including launch and latency
+    resource: str
+    head: float              # non-divisible part (launch + latency + setup)
+
+    @property
+    def stream_part(self) -> float:
+        return max(0.0, self.duration - self.head)
+
+
+class ProgramCostModel:
+    """Estimate execution time of scheduled programs on a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        gpu: Optional[GPU] = None,
+        protocols: Sequence[Protocol] = ALL_PROTOCOLS,
+        channels: Sequence[int] = CHANNEL_CHOICES,
+        elementwise_params: kernel_cost.CostParams = kernel_cost.DEFAULT,
+        fused_compute_params: kernel_cost.CostParams = (
+            kernel_cost.FUSED_REGISTER_PRESSURE
+        ),
+        gemm_efficiency: float = 0.72,
+        overlap_chunks: Optional[int] = None,
+    ) -> None:
+        self.cluster = cluster
+        self.gpu = gpu or cluster.node.gpu
+        self.protocols = tuple(protocols)
+        self.channels = tuple(channels)
+        self.elementwise_params = elementwise_params
+        self.fused_compute_params = fused_compute_params
+        self.gemm_efficiency = gemm_efficiency
+        self.overlap_chunks = overlap_chunks
+
+    # -- public API -----------------------------------------------------
+
+    def time(self, scheduled: Union[Schedule, Program]) -> float:
+        """Simulated makespan of one invocation."""
+        timeline, _ = self.timeline(scheduled)
+        return timeline.makespan
+
+    def timeline(
+        self, scheduled: Union[Schedule, Program]
+    ) -> Tuple[Timeline, List[Task]]:
+        """Full task timeline (for breakdowns and inspection)."""
+        plan = self._plan_of(scheduled)
+        tasks = self._build_tasks(plan)
+        return Engine().run(tasks), tasks
+
+    def kernel_breakdown(
+        self, scheduled: Union[Schedule, Program]
+    ) -> Dict[str, float]:
+        """Per-kernel cost (unoverlapped durations) for bar charts."""
+        plan = self._plan_of(scheduled)
+        return {k.name: self._kernel_cost(k).duration for k in plan.kernels}
+
+    # -- internals ------------------------------------------------------
+
+    @staticmethod
+    def _plan_of(scheduled: Union[Schedule, Program]) -> ExecutionPlan:
+        if isinstance(scheduled, Schedule):
+            return scheduled.plan()
+        return Schedule(scheduled).plan()
+
+    def _stream_of(self, kernel: Kernel) -> str:
+        return f"gpu:{kernel.output.group.start}"
+
+    def _kernel_cost(self, kernel: Kernel) -> KernelCost:
+        kind = kernel.kind
+        out = kernel.output
+        launch = self.gpu.kernel_launch_overhead
+        if kind is KernelKind.GEMM:
+            mm = kernel.exprs[0]
+            bytes_touched = sum(
+                i.per_rank_bytes() for i in mm.inputs
+            ) + mm.per_rank_bytes()
+            d = kernel_cost.gemm_time(
+                mm.flops(),
+                bytes_touched,
+                self.gpu,
+                itemsize=mm.dtype.itemsize,
+                efficiency=self.gemm_efficiency,
+            )
+            return KernelCost(d, self._stream_of(kernel), launch)
+        if kind is KernelKind.CONV:
+            conv = kernel.exprs[0]
+            n, k, ho, wo = conv.shape
+            _, c, r, s = conv.inputs[1].shape
+            flops = 2 * n * k * c * r * s * ho * wo
+            bytes_touched = sum(
+                i.per_rank_bytes() for i in conv.inputs
+            ) + conv.per_rank_bytes()
+            d = kernel_cost.gemm_time(
+                flops, bytes_touched, self.gpu,
+                itemsize=conv.dtype.itemsize,
+                efficiency=self.gemm_efficiency,
+            )
+            return KernelCost(d, self._stream_of(kernel), launch)
+        if kind is KernelKind.ELEMENTWISE:
+            e = kernel.exprs[0]
+            if isinstance(e, ops.Slice):
+                return KernelCost(0.0, self._stream_of(kernel), 0.0)
+            traffic = self._compute_traffic([e])
+            d = kernel_cost.pointwise_time(
+                traffic, self.gpu, self.elementwise_params
+            )
+            d += self._cross_rank_reduction_cost([e])
+            return KernelCost(d, self._stream_of(kernel), launch)
+        if kind is KernelKind.FUSED_ELEMENTWISE:
+            traffic = self._compute_traffic(kernel.exprs)
+            d = kernel_cost.pointwise_time(
+                traffic, self.gpu, self.fused_compute_params
+            )
+            d += self._cross_rank_reduction_cost(kernel.exprs)
+            return KernelCost(d, self._stream_of(kernel), launch)
+        if kind is KernelKind.COLLECTIVE:
+            comm = kernel.exprs[0]
+            t, head = self._collective_cost(comm)
+            return KernelCost(
+                t + launch, self._fabric_of(comm), head + launch
+            )
+        if kind is KernelKind.FUSED_COLLECTIVE:
+            return self._fused_collective_cost(kernel)
+        if kind in (KernelKind.P2P, KernelKind.FUSED_P2P):
+            return self._p2p_cost(kernel)
+        raise CoCoNetError(f"no cost rule for kernel kind {kind}")
+
+    def _compute_traffic(self, exprs: Sequence[Expr]) -> float:
+        """HBM bytes moved by a (possibly fused) compute region."""
+        members = set(exprs)
+        read = 0.0
+        seen: set = set()
+        for e in exprs:
+            for i in e.inputs:
+                if i in members or isinstance(i, Const) or id(i) in seen:
+                    continue
+                seen.add(id(i))
+                read += i.per_rank_bytes()
+        written = 0.0
+        for e in exprs:
+            externally_used = isinstance(e, ops.Update) or e is exprs[-1]
+            if externally_used:
+                written += e.per_rank_bytes()
+        return read + written
+
+    def _cross_rank_reduction_cost(self, exprs: Sequence[Expr]) -> float:
+        """Extra AllReduce latency for Norm/ReduceTensor on sliced data."""
+        extra = 0.0
+        for e in exprs:
+            if isinstance(e, (ops.Norm, ops.ReduceTensor)) and e.crosses_ranks:
+                ring = build_ring(self.cluster, e.group)
+                extra += collective_time(
+                    "allreduce", 8, self.cluster, ring,
+                    self.protocols[0], 2, Algorithm.TREE,
+                    include_setup=False,
+                )
+            elif isinstance(e, (ops.Norm, ops.ReduceTensor)):
+                # a full reduction is an extra pass over the data
+                extra += e.inputs[0].per_rank_bytes() / self.gpu.hbm_bandwidth
+        return extra
+
+    def _fabric_of(self, comm: Expr) -> str:
+        group = comm.group
+        node = self.cluster.node
+        first = group.start // node.gpus_per_node
+        last = (group.start + group.size - 1) // node.gpus_per_node
+        if first == last:
+            return f"fabric:node{first}"
+        return f"fabric:g{group.start}x{group.size}"
+
+    def _collective_cost(
+        self, comm: Expr, ring_only: bool = False
+    ) -> Tuple[float, float]:
+        """(time, head) of a collective; head = latency + setup part."""
+        kind = comm.comm_kind
+        nbytes = max(
+            comm.inputs[0].per_rank_bytes(), comm.per_rank_bytes()
+        )
+        group = comm.group
+        if group.size <= 1:
+            return 0.0, 0.0
+        cfg, t = choose_config(
+            kind, nbytes, self.cluster, group,
+            protocols=self.protocols, channels=self.channels,
+        )
+        if ring_only and cfg.algorithm is not Algorithm.RING:
+            ring = build_ring(self.cluster, group)
+            best = float("inf")
+            for p in self.protocols:
+                for c in self.channels:
+                    cand = collective_time(
+                        kind, nbytes, self.cluster, ring, p, c,
+                        Algorithm.RING,
+                    )
+                    best = min(best, cand)
+            t = best
+        # The head (non-chunkable part) is the latency + setup of the
+        # cheapest same-kind call at near-zero size.
+        ring = build_ring(self.cluster, group)
+        lat = min(
+            collective_time(
+                kind, 1, self.cluster, ring, p, c, Algorithm.RING,
+                include_setup=True,
+            )
+            for p in self.protocols
+            for c in self.channels
+        )
+        head = max(0.0, min(lat, t))
+        return t, head
+
+    def _fused_collective_cost(self, kernel: Kernel) -> KernelCost:
+        comm_ops = [e for e in kernel.exprs if isinstance(e, ops.CommOp)]
+        comp_ops = [e for e in kernel.exprs if not isinstance(e, ops.CommOp)]
+        # The communication structure is an AllReduce-equivalent ring
+        # (RS..AG) or a plain AR; fused collectives are ring-only.
+        scatters = [e for e in comm_ops if isinstance(e, ops.ReduceScatter)]
+        if scatters:
+            anchor = scatters[0]
+            kind = "allreduce"
+            gathers = [e for e in comm_ops if isinstance(e, ops.AllGather)]
+            if not gathers:
+                kind = "reducescatter"
+        else:
+            anchor = comm_ops[0]
+            kind = anchor.comm_kind
+        nbytes = max(
+            anchor.inputs[0].per_rank_bytes(), anchor.per_rank_bytes()
+        )
+        group = anchor.group
+        ring = build_ring(self.cluster, group)
+        best = float("inf")
+        for p in self.protocols:
+            for c in self.channels:
+                t = collective_time(
+                    kind, nbytes, self.cluster, ring, p, c, Algorithm.RING
+                )
+                best = min(best, t)
+        comm_time = best
+        traffic = self._compute_traffic(comp_ops) if comp_ops else 0.0
+        compute_time = kernel_cost.pointwise_time(
+            traffic, self.gpu, self.fused_compute_params,
+            include_launch=False,
+        ) if traffic else 0.0
+        compute_time += self._cross_rank_reduction_cost(comp_ops)
+        launch = self.gpu.kernel_launch_overhead
+        duration = max(comm_time, compute_time) + launch
+        lat = min(
+            collective_time(
+                kind, 1, self.cluster, ring, p, c, Algorithm.RING,
+                include_setup=True,
+            )
+            for p in self.protocols
+            for c in self.channels
+        )
+        head = min(duration, lat + launch)
+        return KernelCost(duration, self._fabric_of(anchor), head)
+
+    def _p2p_cost(self, kernel: Kernel) -> KernelCost:
+        send = next(e for e in kernel.exprs if isinstance(e, ops.Send))
+        src_group = send.inputs[0].group
+        dst_group = send.group
+        node = self.cluster.node
+        intra = (
+            src_group.start // node.gpus_per_node
+            == dst_group.start // node.gpus_per_node
+        )
+        pairs = min(src_group.size, node.gpus_per_node)
+        nbytes = send.inputs[0].per_rank_bytes()
+        t = p2p_time(nbytes, self.cluster, pairs, intra)
+        comp_ops = [
+            e for e in kernel.exprs if not isinstance(e, ops.CommOp)
+        ]
+        launch = self.gpu.kernel_launch_overhead
+        if comp_ops:
+            traffic = self._compute_traffic(comp_ops)
+            ct = kernel_cost.pointwise_time(
+                traffic, self.gpu, self.fused_compute_params,
+                include_launch=False,
+            )
+            t = max(t, ct)
+        lat = (node.nvlink if intra else node.nic).latency
+        resource = (
+            f"fabric:node{src_group.start // node.gpus_per_node}"
+            if intra
+            else f"ib:node{src_group.start // node.gpus_per_node}"
+        )
+        return KernelCost(t + launch, resource, lat + launch)
+
+    # -- task graph construction ------------------------------------------
+
+    def _build_tasks(self, plan: ExecutionPlan) -> List[Task]:
+        producer: Dict[int, str] = {}
+        costs: Dict[str, KernelCost] = {}
+        for k in plan.kernels:
+            costs[k.name] = self._kernel_cost(k)
+            for e in k.exprs:
+                producer[id(e)] = k.name
+
+        overlapped = {
+            name for group in plan.overlap_groups for name in group
+        }
+        kernel_deps: Dict[str, List[str]] = {}
+        for k in plan.kernels:
+            deps: List[str] = []
+            member_ids = {id(e) for e in k.exprs}
+            for e in k.exprs:
+                for i in e.inputs:
+                    p = producer.get(id(i))
+                    if p and p != k.name and p not in deps:
+                        deps.append(p)
+            kernel_deps[k.name] = deps
+
+        tasks: List[Task] = []
+        completion: Dict[str, str] = {}
+        prev_on_stream: Dict[str, Optional[str]] = {}
+        plan_index = {k.name: i for i, k in enumerate(plan.kernels)}
+        last_member = {
+            gi: max(g, key=plan_index.__getitem__)
+            for gi, g in enumerate(plan.overlap_groups)
+        }
+
+        for k in plan.kernels:
+            if k.name in overlapped:
+                gi = next(
+                    i for i, g in enumerate(plan.overlap_groups)
+                    if k.name in g
+                )
+                if last_member[gi] != k.name:
+                    continue
+                group = plan.overlap_groups[gi]
+                self._emit_overlap_tasks(
+                    group, plan, costs, kernel_deps, completion,
+                    prev_on_stream, tasks,
+                )
+                continue
+            c = costs[k.name]
+            deps = [completion[d] for d in kernel_deps[k.name] if d in completion]
+            stream = self._stream_of(k)
+            prev = prev_on_stream.get(stream)
+            if prev and prev not in deps:
+                deps.append(prev)
+            tasks.append(Task(k.name, c.resource, c.duration, tuple(deps)))
+            completion[k.name] = k.name
+            prev_on_stream[stream] = k.name
+        return tasks
+
+    def _emit_overlap_tasks(
+        self, group, plan, costs, kernel_deps, completion,
+        prev_on_stream, tasks,
+    ) -> None:
+        kernels = [k for k in plan.kernels if k.name in group]
+        kernels.sort(key=lambda k: group.index(k.name))
+        comm_kinds = (
+            KernelKind.COLLECTIVE, KernelKind.FUSED_COLLECTIVE,
+            KernelKind.P2P, KernelKind.FUSED_P2P,
+        )
+        comm_members = [k for k in kernels if k.kind in comm_kinds]
+        first_comm = comm_members[0] if comm_members else None
+        if self.overlap_chunks is not None:
+            nchunks = self.overlap_chunks
+        elif kernels[0].kind is KernelKind.GEMM:
+            # GEMM producer: 2-D chunks in ring order, one per rank
+            # (Figure 9)
+            nchunks = min(32, max(4, first_comm.output.group.size))
+        elif first_comm is not None:
+            # Communication chain (Figure 7b): tiles are communication
+            # buffers handed from stage to stage; NCCL's buffer-slot
+            # recycling keeps only a few tiles in flight (the paper's
+            # figure shows T0-T2).
+            buffer_bytes = 8 * 4 * 1024 * 1024
+            nbytes = max(
+                first_comm.output.per_rank_bytes(),
+                first_comm.exprs[0].inputs[0].per_rank_bytes(),
+            )
+            nchunks = min(4, max(2, -(-nbytes // buffer_bytes)))
+        else:
+            nchunks = 8
+        member_names = {k.name for k in kernels}
+        for ki, k in enumerate(kernels):
+            c = costs[k.name]
+            ext_deps = [
+                completion[d]
+                for d in kernel_deps[k.name]
+                if d in completion and d not in group
+            ]
+            stream = self._stream_of(k)
+            prev = prev_on_stream.get(stream)
+            # Members of the group share the rank's stream conceptually
+            # but are launched together and synchronize via chunk flags,
+            # so don't serialize them against each other.
+            prev_is_member = (
+                prev is not None and prev.split("#")[0] in member_names
+            )
+            if prev and not prev_is_member and prev not in ext_deps:
+                ext_deps.append(prev)
+            chunk_dur = c.stream_part / nchunks
+            last_name = None
+            upstream = kernels[ki - 1].name if ki > 0 else None
+            for ci in range(nchunks):
+                name = f"{k.name}#c{ci}"
+                dur = chunk_dur + SPINLOCK_SYNC_OVERHEAD
+                if ci == 0:
+                    dur += c.head
+                deps = []
+                if ci == 0:
+                    deps.extend(ext_deps)
+                else:
+                    deps.append(f"{k.name}#c{ci - 1}")
+                if upstream is not None:
+                    deps.append(f"{upstream}#c{ci}")
+                tasks.append(Task(name, c.resource, dur, tuple(deps)))
+                last_name = name
+            completion[k.name] = last_name
+            prev_on_stream[stream] = last_name

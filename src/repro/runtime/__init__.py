@@ -1,0 +1,12 @@
+"""Simulated multi-rank runtime: the correctness oracle.
+
+Executes CoCoNet programs numerically on N simulated ranks with numpy
+arrays. Every transformed schedule must produce the same results as the
+original program here — this is the library's enforcement of the paper's
+"semantics preserving transformations".
+"""
+
+from repro.runtime.executor import Executor, ProgramResult
+from repro.runtime.world import SimWorld
+
+__all__ = ["Executor", "ProgramResult", "SimWorld"]

@@ -1,0 +1,75 @@
+"""Reference numpy implementations of the collective operations.
+
+These define the *semantics* the NCCL simulator and generated kernels
+must match. Reductions accumulate in float64 in rank order, so an
+AllReduce and its ReduceScatter+AllGather split produce identical
+results — the determinism the transformation-equivalence tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.core.process_group import ProcessGroup
+from repro.runtime.world import assemble_slices, slice_of
+
+RankValues = Dict[int, np.ndarray]
+
+
+def _accumulate(values: RankValues, group: ProcessGroup, op: str) -> np.ndarray:
+    stack = np.stack([values[r] for r in group], axis=0)
+    if op == "+":
+        return np.sum(stack.astype(np.float64), axis=0)
+    if op == "*":
+        return np.prod(stack.astype(np.float64), axis=0)
+    if op == "max":
+        return np.max(stack, axis=0).astype(np.float64)
+    if op == "min":
+        return np.min(stack, axis=0).astype(np.float64)
+    raise ValueError(f"unknown reduction {op!r}")
+
+
+def allreduce(
+    values: RankValues, group: ProcessGroup, op: str, dtype: np.dtype
+) -> RankValues:
+    """Every rank receives the reduction of all ranks' values."""
+    total = _accumulate(values, group, op).astype(dtype)
+    return {r: total.copy() for r in group}
+
+
+def reducescatter(
+    values: RankValues, group: ProcessGroup, op: str, dim: int, dtype: np.dtype
+) -> RankValues:
+    """Rank i receives slice i of the reduction."""
+    total = _accumulate(values, group, op).astype(dtype)
+    return {
+        r: slice_of(total, dim, i, group.size).copy()
+        for i, r in enumerate(group)
+    }
+
+
+def allgather(values: RankValues, group: ProcessGroup, dim: int) -> RankValues:
+    """Every rank receives the concatenation of all ranks' slices."""
+    full = assemble_slices([values[r] for r in group], dim)
+    return {r: full.copy() for r in group}
+
+
+def reduce(
+    values: RankValues, group: ProcessGroup, op: str, root: int, dtype: np.dtype
+) -> RankValues:
+    """The root rank receives the reduction; other ranks receive zeros."""
+    total = _accumulate(values, group, op).astype(dtype)
+    root_rank = group.global_rank(root)
+    return {
+        r: total.copy() if r == root_rank else np.zeros_like(total)
+        for r in group
+    }
+
+
+def broadcast(values: RankValues, group: ProcessGroup, root: int) -> RankValues:
+    """Every rank receives the root rank's value."""
+    root_rank = group.global_rank(root)
+    src = values[root_rank]
+    return {r: src.copy() for r in group}

@@ -1,0 +1,328 @@
+"""Numeric executor: run a CoCoNet program on a simulated world.
+
+This is the correctness oracle of the reproduction: every schedule —
+original, split, reordered, fused or overlapped — must produce the same
+numbers here. Fusion and overlap do not change the DFG, so executing the
+DFG covers them; split and reorder rewrite the DFG, and their
+equivalence is what the tests verify against this executor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.core import ops
+from repro.core.layout import normalize_dim
+from repro.core.program import Program
+from repro.core.tensor import Const, Expr, Scalar, Tensor
+from repro.errors import ExecutionError
+from repro.runtime import collectives, rng
+from repro.runtime.world import SimWorld, assemble_slices, slice_of
+
+RankValues = Dict[int, np.ndarray]
+
+
+class ProgramResult:
+    """Outputs and final tensor states of one simulated run."""
+
+    def __init__(
+        self,
+        outputs: Dict[str, np.ndarray],
+        tensor_states: Dict[str, np.ndarray],
+    ) -> None:
+        self._outputs = outputs
+        self._tensor_states = tensor_states
+
+    def output(self, name: str) -> np.ndarray:
+        """Global value of a program output, reassembled across ranks."""
+        try:
+            return self._outputs[name]
+        except KeyError:
+            raise ExecutionError(
+                f"no output named {name!r}; have {sorted(self._outputs)}"
+            ) from None
+
+    def tensor_state(self, name: str) -> np.ndarray:
+        """Final (possibly updated) global value of an input tensor."""
+        try:
+            return self._tensor_states[name]
+        except KeyError:
+            raise ExecutionError(
+                f"no input tensor named {name!r}; have "
+                f"{sorted(self._tensor_states)}"
+            ) from None
+
+    @property
+    def output_names(self):
+        return sorted(self._outputs)
+
+
+class Executor:
+    """Interprets programs over a :class:`SimWorld`."""
+
+    def run(
+        self, program: Program, inputs: Mapping[str, np.ndarray]
+    ) -> ProgramResult:
+        world_size = program.inputs[0].group.world_size
+        world = SimWorld(world_size)
+        for t in program.inputs:
+            if t.name not in inputs:
+                raise ExecutionError(f"missing input {t.name!r}")
+            world.place_input(t, np.asarray(inputs[t.name]))
+        extra = set(inputs) - {t.name for t in program.inputs}
+        if extra:
+            raise ExecutionError(f"unknown inputs: {sorted(extra)}")
+
+        values: Dict[Expr, RankValues] = {}
+        from repro.core import dfg
+
+        for e in dfg.topological(program.roots):
+            if isinstance(e, Const):
+                values[e] = {
+                    r: np.asarray(e.value, dtype=e.dtype.to_numpy())
+                    for r in e.group
+                }
+            elif isinstance(e, (Tensor, Scalar)):
+                # Snapshot: DFG edges to a leaf reference its value at
+                # program start, even if an Update later rewrites storage.
+                values[e] = {
+                    r: world.rank_value(e.name, r).copy() for r in e.group
+                }
+            else:
+                values[e] = self._eval(e, values, world)
+
+        outputs = {
+            o.name: self._assemble(o, values[o]) for o in program.outputs
+        }
+        states = {
+            t.name: world.read_back(t)
+            for t in program.inputs
+            if isinstance(t, Tensor)
+        }
+        return ProgramResult(outputs, states)
+
+    # -- helpers ---------------------------------------------------------
+
+    @staticmethod
+    def _assemble(e: Expr, per_rank: RankValues) -> np.ndarray:
+        group = e.group
+        if e.layout.is_replicated:
+            return per_rank[group.start]
+        if e.layout.is_sliced:
+            dim = normalize_dim(e.layout.dim, len(e.shape))
+            return assemble_slices([per_rank[r] for r in group], dim)
+        return np.stack([per_rank[r] for r in group], axis=0)
+
+    def _eval(
+        self, e: Expr, values: Dict[Expr, RankValues], world: SimWorld
+    ) -> RankValues:
+        o = ops
+        if isinstance(e, o.AllReduce):
+            return collectives.allreduce(
+                values[e.inputs[0]], e.group, e.reduction, e.dtype.to_numpy()
+            )
+        if isinstance(e, o.ReduceScatter):
+            return collectives.reducescatter(
+                values[e.inputs[0]],
+                e.group,
+                e.reduction,
+                normalize_dim(e.layout.dim, len(e.shape)),
+                e.dtype.to_numpy(),
+            )
+        if isinstance(e, o.AllGather):
+            gathered = collectives.allgather(
+                values[e.inputs[0]], e.group, e.dim
+            )
+            if e.writeback is not None:
+                wb = e.writeback
+                for r in e.group:
+                    world.storage[wb.name][r] = gathered[r].astype(
+                        wb.dtype.to_numpy()
+                    )
+            return gathered
+        if isinstance(e, o.Reduce):
+            return collectives.reduce(
+                values[e.inputs[0]], e.group, e.reduction, e.root,
+                e.dtype.to_numpy(),
+            )
+        if isinstance(e, o.Broadcast):
+            return collectives.broadcast(values[e.inputs[0]], e.group, e.root)
+        if isinstance(e, o.Send):
+            return self._eval_send(e, values)
+        if isinstance(e, o.MatMul):
+            return self._per_rank(
+                e, values, lambda a, b: np.matmul(a, b)
+            )
+        if isinstance(e, o.Conv2D):
+            return self._per_rank(
+                e, values, lambda x, w: _conv2d(x, w, e.stride, e.padding)
+            )
+        if isinstance(e, o.Binary):
+            fn = _BINARY_FNS[e.op]
+            return self._per_rank(e, values, fn)
+        if isinstance(e, o.Unary):
+            fn = _UNARY_FNS[e.op]
+            return self._per_rank(e, values, fn)
+        if isinstance(e, o.Dropout):
+            return self._eval_dropout(e, values)
+        if isinstance(e, o.Cast):
+            return self._per_rank(e, values, lambda x: x)
+        if isinstance(e, o.Slice):
+            return self._eval_slice(e, values)
+        if isinstance(e, (o.Norm, o.ReduceTensor)):
+            return self._eval_reduction(e, values)
+        if isinstance(e, o.Update):
+            return self._eval_update(e, values, world)
+        raise ExecutionError(f"cannot execute {type(e).__name__}")
+
+    def _per_rank(self, e: Expr, values, fn) -> RankValues:
+        out: RankValues = {}
+        dtype = e.dtype.to_numpy()
+        for r in e.group:
+            args = [values[i][r] for i in e.inputs]
+            out[r] = np.asarray(fn(*args)).astype(dtype)
+        return out
+
+    def _eval_send(self, e: ops.Send, values) -> RankValues:
+        src_group = e.inputs[0].group
+        dst_group = e.group
+        out: RankValues = {}
+        src_values = values[e.inputs[0]]
+        for r in src_group:
+            local = src_group.local_rank(r)
+            out[dst_group.global_rank(local)] = src_values[r].copy()
+        return out
+
+    def _eval_dropout(self, e: ops.Dropout, values) -> RankValues:
+        out: RankValues = {}
+        dtype = e.dtype.to_numpy()
+        for r in e.group:
+            x = values[e.inputs[0]][r]
+            if e.layout.is_sliced:
+                dim = normalize_dim(e.layout.dim, len(e.shape))
+                mask = rng.dropout_mask(
+                    e.seed, e.prob, e.shape,
+                    slice_dim=dim,
+                    slice_index=e.group.local_rank(r),
+                    num_slices=e.group.size,
+                )
+            else:
+                mask = rng.dropout_mask(e.seed, e.prob, e.shape)
+            out[r] = (x.astype(np.float64) * mask).astype(dtype)
+        return out
+
+    def _eval_slice(self, e: ops.Slice, values) -> RankValues:
+        dim = normalize_dim(e.layout.dim, len(e.shape))
+        out: RankValues = {}
+        for r in e.group:
+            full = values[e.inputs[0]][r]
+            out[r] = slice_of(
+                full, dim, e.group.local_rank(r), e.group.size
+            ).copy()
+        return out
+
+    def _eval_reduction(self, e: Expr, values) -> RankValues:
+        x_values = values[e.inputs[0]]
+        is_norm = isinstance(e, ops.Norm)
+        op = "+" if is_norm else e.reduction
+        dtype = e.dtype.to_numpy()
+
+        def local_reduce(x: np.ndarray) -> np.ndarray:
+            x64 = x.astype(np.float64)
+            if is_norm:
+                return np.sum(x64 * x64)
+            if op == "+":
+                return np.sum(x64)
+            if op == "*":
+                return np.prod(x64)
+            if op == "max":
+                return np.max(x64)
+            return np.min(x64)
+
+        if e.crosses_ranks:
+            partials = {r: local_reduce(x_values[r]) for r in e.group}
+            if op in ("+", "*"):
+                total = (
+                    np.sum(list(partials.values()))
+                    if op == "+"
+                    else np.prod(list(partials.values()))
+                )
+            elif op == "max":
+                total = np.max(list(partials.values()))
+            else:
+                total = np.min(list(partials.values()))
+            if is_norm:
+                total = np.sqrt(total)
+            return {r: np.asarray(total).astype(dtype) for r in e.group}
+        out: RankValues = {}
+        for r in e.group:
+            v = local_reduce(x_values[r])
+            if is_norm:
+                v = np.sqrt(v)
+            out[r] = np.asarray(v).astype(dtype)
+        return out
+
+    def _eval_update(self, e: ops.Update, values, world: SimWorld) -> RankValues:
+        target = e.target
+        value = values[e.inputs[0]]
+        dtype = target.dtype.to_numpy()
+        out: RankValues = {}
+        for r in e.group:
+            new = value[r].astype(dtype)
+            out[r] = new
+            store = world.storage[target.name]
+            if e.layout.is_sliced and target.layout.is_replicated:
+                # Write this rank's slice into its full-size storage; the
+                # rest becomes valid when an AllGather writes back.
+                dim = normalize_dim(e.layout.dim, len(e.shape))
+                full = store[r]
+                extent = full.shape[dim] // e.group.size
+                idx = [slice(None)] * full.ndim
+                local = e.group.local_rank(r)
+                idx[dim] = slice(local * extent, (local + 1) * extent)
+                full[tuple(idx)] = new
+            else:
+                store[r] = new.copy()
+        return out
+
+
+def _conv2d(x: np.ndarray, w: np.ndarray, stride: int, padding: int) -> np.ndarray:
+    """Direct 2-D convolution (correctness reference; small sizes only)."""
+    n, c, h, wd = x.shape
+    k, _, r, s = w.shape
+    if padding:
+        x = np.pad(
+            x, ((0, 0), (0, 0), (padding, padding), (padding, padding))
+        )
+    ho = (x.shape[2] - r) // stride + 1
+    wo = (x.shape[3] - s) // stride + 1
+    out = np.zeros((n, k, ho, wo), dtype=np.float64)
+    x64 = x.astype(np.float64)
+    w64 = w.astype(np.float64)
+    for i in range(r):
+        for j in range(s):
+            patch = x64[:, :, i : i + ho * stride : stride, j : j + wo * stride : stride]
+            out += np.einsum("nchw,kc->nkhw", patch, w64[:, :, i, j])
+    return out
+
+
+_BINARY_FNS = {
+    "+": lambda a, b: a.astype(np.float64) + b.astype(np.float64),
+    "-": lambda a, b: a.astype(np.float64) - b.astype(np.float64),
+    "*": lambda a, b: a.astype(np.float64) * b.astype(np.float64),
+    "/": lambda a, b: a.astype(np.float64) / b.astype(np.float64),
+    "pow": lambda a, b: np.power(a.astype(np.float64), b.astype(np.float64)),
+    "max": lambda a, b: np.maximum(a, b),
+    "min": lambda a, b: np.minimum(a, b),
+}
+
+_UNARY_FNS = {
+    "sqrt": lambda x: np.sqrt(x.astype(np.float64)),
+    "rsqrt": lambda x: 1.0 / np.sqrt(x.astype(np.float64)),
+    "relu": lambda x: np.maximum(x, 0),
+    "tanh": lambda x: np.tanh(x.astype(np.float64)),
+    "exp": lambda x: np.exp(x.astype(np.float64)),
+    "abs": lambda x: np.abs(x),
+}

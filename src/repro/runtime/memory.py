@@ -1,0 +1,53 @@
+"""Per-rank device memory accounting.
+
+A simple bump allocator over the simulated GPU's HBM; exceeding the
+32 GB of a V100 raises :class:`OutOfMemoryError` — the "OOM" entries of
+Table 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.cluster.gpu import GPU, TESLA_V100
+from repro.errors import OutOfMemoryError
+
+
+class DeviceAllocator:
+    """Tracks named allocations on one simulated GPU."""
+
+    def __init__(self, gpu: GPU = TESLA_V100) -> None:
+        self.gpu = gpu
+        self.allocations: Dict[str, int] = {}
+        self.high_water: int = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self.allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self.gpu.memory_bytes - self.used_bytes
+
+    def alloc(self, name: str, nbytes: int) -> None:
+        if nbytes < 0:
+            raise ValueError(f"negative allocation {name!r}")
+        if name in self.allocations:
+            raise ValueError(f"allocation {name!r} already exists")
+        if self.used_bytes + nbytes > self.gpu.memory_bytes:
+            raise OutOfMemoryError(
+                f"allocating {name!r} ({nbytes / 2**30:.2f} GiB) exceeds "
+                f"{self.gpu.memory_bytes / 2**30:.0f} GiB device memory "
+                f"({self.used_bytes / 2**30:.2f} GiB in use)"
+            )
+        self.allocations[name] = nbytes
+        self.high_water = max(self.high_water, self.used_bytes)
+
+    def free(self, name: str) -> None:
+        try:
+            del self.allocations[name]
+        except KeyError:
+            raise ValueError(f"no allocation named {name!r}") from None
+
+    def would_fit(self, nbytes: int) -> bool:
+        return self.used_bytes + nbytes <= self.gpu.memory_bytes

@@ -1,0 +1,99 @@
+"""The simulated world: per-rank tensor storage.
+
+A :class:`SimWorld` holds one numpy array per (rank, tensor-name) pair —
+the stand-in for each GPU's global memory. Input preparation distributes
+a *global* array according to the tensor's layout: replicated tensors
+are copied to every rank, sliced tensors are partitioned along their
+slice dimension, and local tensors take per-rank values stacked on a
+leading axis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.core.layout import normalize_dim
+from repro.core.tensor import Expr, Tensor
+from repro.errors import ExecutionError
+
+
+def slice_of(array: np.ndarray, dim: int, index: int, parts: int) -> np.ndarray:
+    """The ``index``-th of ``parts`` equal slices of ``array`` along ``dim``."""
+    extent = array.shape[dim]
+    if extent % parts != 0:
+        raise ExecutionError(
+            f"dim {dim} of shape {array.shape} not divisible into {parts} parts"
+        )
+    step = extent // parts
+    sl = [slice(None)] * array.ndim
+    sl[dim] = slice(index * step, (index + 1) * step)
+    return array[tuple(sl)]
+
+
+def assemble_slices(parts: Sequence[np.ndarray], dim: int) -> np.ndarray:
+    """Concatenate per-rank slices back into the global array."""
+    return np.concatenate(list(parts), axis=dim)
+
+
+class SimWorld:
+    """Per-rank storage for a simulated run."""
+
+    def __init__(self, num_ranks: int) -> None:
+        if num_ranks <= 0:
+            raise ExecutionError("world needs at least one rank")
+        self.num_ranks = num_ranks
+        self.storage: Dict[str, Dict[int, np.ndarray]] = {}
+
+    def place_input(self, tensor: Expr, value: np.ndarray) -> None:
+        """Distribute a global input array according to the tensor layout."""
+        value = np.asarray(value, dtype=tensor.dtype.to_numpy())
+        group = tensor.group
+        per_rank: Dict[int, np.ndarray] = {}
+        if tensor.layout.is_replicated:
+            if tuple(value.shape) != tensor.shape:
+                raise ExecutionError(
+                    f"{tensor.name}: expected shape {tensor.shape}, "
+                    f"got {value.shape}"
+                )
+            for r in group:
+                per_rank[r] = value.copy()
+        elif tensor.layout.is_sliced:
+            if tuple(value.shape) != tensor.shape:
+                raise ExecutionError(
+                    f"{tensor.name}: expected global shape {tensor.shape}, "
+                    f"got {value.shape}"
+                )
+            dim = normalize_dim(tensor.layout.dim, len(tensor.shape))
+            for i, r in enumerate(group):
+                per_rank[r] = slice_of(value, dim, i, group.size).copy()
+        else:  # local: leading axis indexes ranks of the group
+            expected = (group.size,) + tensor.shape
+            if tuple(value.shape) != expected:
+                raise ExecutionError(
+                    f"{tensor.name} is local: expected shape {expected} "
+                    f"(group size leading), got {value.shape}"
+                )
+            for i, r in enumerate(group):
+                per_rank[r] = value[i].copy()
+        self.storage[tensor.name] = per_rank
+
+    def read_back(self, tensor: Expr) -> np.ndarray:
+        """Reassemble a tensor's global value from per-rank storage."""
+        per_rank = self.storage[tensor.name]
+        group = tensor.group
+        if tensor.layout.is_replicated:
+            return per_rank[group.start]
+        if tensor.layout.is_sliced:
+            dim = normalize_dim(tensor.layout.dim, len(tensor.shape))
+            return assemble_slices([per_rank[r] for r in group], dim)
+        return np.stack([per_rank[r] for r in group], axis=0)
+
+    def rank_value(self, name: str, rank: int) -> np.ndarray:
+        try:
+            return self.storage[name][rank]
+        except KeyError:
+            raise ExecutionError(
+                f"no value for tensor {name!r} on rank {rank}"
+            ) from None

@@ -1,0 +1,20 @@
+"""Scattered-tensor support (Section 5.4).
+
+Machine-learning frameworks allocate each layer's parameters and
+gradients in separate buffers; CoCoNet generates single kernels that
+operate on all of them without the copy-to-contiguous-buffer dance.
+"""
+
+from repro.scattered.bucketing import (
+    BUCKET_ELEMENTS,
+    Bucket,
+    ScatteredTensorSet,
+    bucket_memory_overhead,
+)
+
+__all__ = [
+    "Bucket",
+    "ScatteredTensorSet",
+    "BUCKET_ELEMENTS",
+    "bucket_memory_overhead",
+]

@@ -1,0 +1,40 @@
+"""The paper's distributed ML workloads, written in the CoCoNet DSL.
+
+* :mod:`repro.workloads.adam` / :mod:`repro.workloads.lamb` — the
+  data-parallel optimizers of Section 4 / Figure 6, with the paper's
+  three schedules (AR-Opt, GShard-Eq, fuse(RS-Opt-AG));
+* :mod:`repro.workloads.attention` — the model-parallel self-attention
+  and MLP epilogues of Figure 3 / Section 6.2;
+* :mod:`repro.workloads.pipeline` — the pipeline-parallel transformer
+  operations of Figure 8 / Section 6.3;
+* :mod:`repro.workloads.models` — BERT/GPT-2/GPT-3 configurations with
+  the memory accounting behind Tables 4 and 5.
+"""
+
+from repro.workloads.adam import AdamWorkload, adam_reference
+from repro.workloads.lamb import LambWorkload, lamb_reference
+from repro.workloads.attention import AttentionWorkload
+from repro.workloads.pipeline import PipelineWorkload
+from repro.workloads.models import (
+    BERT_336M,
+    BERT_1_2B,
+    BERT_3_9B,
+    GPT2_8_3B,
+    GPT3_175B,
+    ModelConfig,
+)
+
+__all__ = [
+    "AdamWorkload",
+    "adam_reference",
+    "LambWorkload",
+    "lamb_reference",
+    "AttentionWorkload",
+    "PipelineWorkload",
+    "ModelConfig",
+    "BERT_336M",
+    "BERT_1_2B",
+    "BERT_3_9B",
+    "GPT2_8_3B",
+    "GPT3_175B",
+]

@@ -1,0 +1,188 @@
+"""Adam parameter update in CoCoNet (Section 4, Figure 6).
+
+The traditional implementation (Figure 6a)::
+
+    Var avg = AllReduce("+", g);
+    Var m_  = Update(m, (m * beta1 + (1 - beta1) * avg));
+    Var v_  = Update(v, (v * beta2 + (1 - beta2) * avg * avg));
+    Var m1  = m_ / (1 - Pow(beta1, t));
+    Var v1  = v_ / (1 - Pow(beta2, t));
+    Var p_  = Update(p, (p - lr * m1 / (Sqrt(v1))));
+    Execute adam({g, p, v, m, lr}, {p_});
+
+and the optimized schedule (Figure 6b)::
+
+    comps = fuse(m_, v_, m1, v1, p_, ComputationFuse);
+    (rsG, agG) = split(avg, ARSplitRSAG);
+    (scComp, agP, agM, agV) = reorder(agG, comps, AGReorder);
+    asSlice(m); asSlice(v); dead(agM); dead(agV);
+    fuseAR = fuse(rsG, scComp, agP, AllReduceFuse);
+
+This module builds both, plus the intermediate GShard-equivalent
+schedule, and provides a numpy reference implementation for testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import (
+    FP16,
+    FP32,
+    RANK,
+    AllReduce,
+    DType,
+    Execute,
+    Local,
+    Pow,
+    Program,
+    Replicated,
+    Scalar,
+    Sqrt,
+    Tensor,
+    Update,
+    world,
+)
+from repro.core.tensor import Expr
+from repro.core.transforms import (
+    AllReduceFuse,
+    ARSplitRSAG,
+    ComputationFuse,
+    Schedule,
+)
+
+#: Default Adam hyper-parameters (Kingma & Ba).
+BETA1, BETA2, EPSILON = 0.9, 0.999, 1e-6
+
+
+@dataclass
+class AdamWorkload:
+    """The Adam DSL program plus handles to its named values."""
+
+    program: Program
+    grads: Tensor
+    params: Tensor
+    momentum: Tensor
+    velocity: Tensor
+    lr: Scalar
+    step: Scalar
+    avg: Expr                      # the AllReduce
+    compute_ops: List[Expr] = field(default_factory=list)
+    updates: Tuple[Expr, Expr, Expr] = ()  # (m_, v_, p_)
+
+    @classmethod
+    def build(
+        cls,
+        num_elements: int,
+        world_size: int,
+        grad_dtype: DType = FP16,
+        param_dtype: "DType | None" = None,
+        state_dtype: DType = FP32,
+    ) -> "AdamWorkload":
+        """Figure 6a: mixed-precision Adam over one flat gradient tensor."""
+        if param_dtype is None:
+            # Mixed precision (Figure 10): FP16 gradients and parameters,
+            # FP32 optimizer moments.
+            param_dtype = grad_dtype
+        W = world(world_size)
+        g = Tensor(grad_dtype, (num_elements,), Local, W, RANK, name="g")
+        p = Tensor(param_dtype, (num_elements,), Replicated, W, name="p")
+        m = Tensor(state_dtype, (num_elements,), Replicated, W, name="m")
+        v = Tensor(state_dtype, (num_elements,), Replicated, W, name="v")
+        lr = Scalar(FP32, name="lr", group=W)
+        t = Scalar(FP32, name="t", group=W)
+
+        avg = AllReduce("+", g, name="avg")
+        m_new = m * BETA1 + (1.0 - BETA1) * avg
+        m_upd = Update(m, m_new, name="m_")
+        v_new = v * BETA2 + (1.0 - BETA2) * avg * avg
+        v_upd = Update(v, v_new, name="v_")
+        m1 = m_upd / (1.0 - Pow(BETA1, t))
+        v1 = v_upd / (1.0 - Pow(BETA2, t))
+        p_new = p - lr * m1 / (Sqrt(v1) + EPSILON)
+        p_upd = Update(p, p_new, name="p_")
+
+        prog = Execute("adam", [g, p, m, v, lr, t], [p_upd])
+        compute = [e for e in prog.operations if e is not avg]
+        return cls(
+            program=prog,
+            grads=g, params=p, momentum=m, velocity=v, lr=lr, step=t,
+            avg=avg, compute_ops=compute, updates=(m_upd, v_upd, p_upd),
+        )
+
+    # -- the paper's three schedules (§6.1.1) --------------------------------
+
+    def schedule_ar_opt(self) -> Schedule:
+        """AR-Adam: AllReduce, then all computations fused in one kernel."""
+        sched = Schedule(self.program)
+        sched.fuse(*self.compute_ops, policy=ComputationFuse)
+        return sched
+
+    def _split_and_reorder(self) -> Tuple[Schedule, Expr, object, List[Expr]]:
+        sched = Schedule(self.program)
+        comps = sched.fuse(*self.compute_ops, policy=ComputationFuse)
+        rs_g, ag_g = sched.split(self.avg, ARSplitRSAG)
+        results = sched.reorder(ag_g, comps)
+        block, gathers = results[0], list(results[1:])
+        # Slice the optimizer state across ranks and drop the gathers that
+        # restored m and v (Figure 6b line 6).
+        sched.asSlice(self.momentum, dim=0)
+        sched.asSlice(self.velocity, dim=0)
+        ag_p = None
+        for gather in gathers:
+            gather = sched.resolve(gather)
+            wb = getattr(gather, "writeback", None)
+            if wb is not None and wb.name == "p":
+                ag_p = gather
+            else:
+                sched.dead(gather)
+        assert ag_p is not None, "reorder must produce an AllGather for p"
+        return sched, rs_g, block, [ag_p]
+
+    def schedule_gshard(self) -> Schedule:
+        """GShard-Eq / RS-Adam-AG: distributed update, separate kernels."""
+        sched, _, _, _ = self._split_and_reorder()
+        return sched
+
+    def schedule_fused(self) -> Schedule:
+        """fuse(RS-Adam-AG): everything in a single FusedAllReduce kernel."""
+        sched, rs_g, block, gathers = self._split_and_reorder()
+        sched.fuse(rs_g, block, *gathers, policy=AllReduceFuse)
+        return sched
+
+    def schedules(self) -> Dict[str, Schedule]:
+        """All named schedules, as the autotuner would enumerate them."""
+        return {
+            "AR-Adam": self.schedule_ar_opt(),
+            "RS-Adam-AG": self.schedule_gshard(),
+            "fuse(RS-Adam-AG)": self.schedule_fused(),
+        }
+
+
+def adam_reference(
+    grads: np.ndarray,
+    params: np.ndarray,
+    momentum: np.ndarray,
+    velocity: np.ndarray,
+    lr: float,
+    step: float,
+    beta1: float = BETA1,
+    beta2: float = BETA2,
+    eps: float = EPSILON,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference mixed-precision Adam step.
+
+    ``grads`` has shape (world_size, N): per-rank local gradients that
+    are averaged (summed, matching AllReduce("+")) before the update.
+    Returns (new_params, new_momentum, new_velocity) in float64.
+    """
+    avg = grads.astype(np.float64).sum(axis=0)
+    m = momentum.astype(np.float64) * beta1 + (1.0 - beta1) * avg
+    v = velocity.astype(np.float64) * beta2 + (1.0 - beta2) * avg * avg
+    m1 = m / (1.0 - beta1**step)
+    v1 = v / (1.0 - beta2**step)
+    p = params.astype(np.float64) - lr * m1 / (np.sqrt(v1) + eps)
+    return p, m, v

@@ -1,0 +1,136 @@
+"""Model-parallel self-attention / MLP epilogue (Figure 3, §6.2).
+
+Megatron-LM's model parallelism computes, on every rank, a MatMul over
+row-sliced weights producing a partial result, AllReduces it, then adds
+bias, applies dropout and adds the residual::
+
+    Tensor w (FP16, [H, H],    Sliced(0), WORLD, RANK);
+    Tensor b (FP16, [H],       Replicated, WORLD);
+    Tensor in(FP16, [B, S, H], Sliced(2), WORLD, RANK);
+    Tensor r (FP16, [B, S, H], Replicated, WORLD);
+    Var layer   = MatMul(in, w);
+    Var sum     = AllReduce("+", layer);
+    Var dropout = Dropout(sum + b, 0.1);
+    Var out     = dropout + r;
+
+The MLP block is the same structure with an [B, S, 4H] input and a
+[4H, H] weight. The four schedules of §6.2.1 are provided:
+Megatron-LM (unfused baseline), MM-AR-C (fused pointwise), GShard-Eq
+(MM-RS-C-AG) and CoCoNet's ol(MM, fuse(RS-C-AG)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core import (
+    FP16,
+    RANK,
+    AllReduce,
+    Binary,
+    DType,
+    Dropout,
+    Execute,
+    MatMul,
+    Program,
+    Replicated,
+    Sliced,
+    Tensor,
+    world,
+)
+from repro.core.tensor import Expr
+from repro.core.transforms import (
+    AllReduceFuse,
+    ARSplitRSAG,
+    ComputationFuse,
+    Schedule,
+)
+
+
+@dataclass
+class AttentionWorkload:
+    """Self-attention (or MLP) epilogue program with named handles."""
+
+    program: Program
+    matmul: Expr
+    allreduce: Expr
+    compute_ops: List[Expr]
+    batch: int
+    seq: int
+    hidden_in: int
+    hidden_out: int
+
+    @classmethod
+    def build(
+        cls,
+        batch: int,
+        seq: int,
+        hidden: int,
+        world_size: int,
+        expansion: int = 1,
+        dtype: DType = FP16,
+        dropout_seed: int = 0xA77,
+    ) -> "AttentionWorkload":
+        """Figure 3's program; ``expansion=4`` gives the MLP block."""
+        W = world(world_size)
+        h_in = hidden * expansion
+        w = Tensor(dtype, (h_in, hidden), Sliced(0), W, RANK, name="w")
+        b = Tensor(dtype, (hidden,), Replicated, W, name="b")
+        in_ = Tensor(
+            dtype, (batch, seq, h_in), Sliced(2), W, RANK, name="in"
+        )
+        r = Tensor(dtype, (batch, seq, hidden), Replicated, W, name="r")
+
+        layer = MatMul(in_, w, name="layer")
+        s = AllReduce("+", layer, name="sum")
+        sum_b = Binary("+", s, b, name="sum_b")
+        drop = Dropout(sum_b, 0.1, seed=dropout_seed, name="dropout")
+        out = Binary("+", drop, r, name="out")
+        prog = Execute("self_attention", [w, in_, b, r], [out])
+        return cls(
+            program=prog,
+            matmul=layer,
+            allreduce=s,
+            compute_ops=[sum_b, drop, out],
+            batch=batch, seq=seq, hidden_in=h_in, hidden_out=hidden,
+        )
+
+    # -- §6.2.1 schedules ------------------------------------------------
+
+    def schedule_megatron(self) -> Schedule:
+        """Baseline: library MatMul + NCCL AllReduce + unfused pointwise."""
+        return Schedule(self.program)
+
+    def schedule_mm_ar_c(self) -> Schedule:
+        """MM-AR-C: 'fusing all pointwise computations into one kernel'."""
+        sched = Schedule(self.program)
+        sched.fuse(*self.compute_ops, policy=ComputationFuse)
+        return sched
+
+    def schedule_gshard(self) -> Schedule:
+        """GShard-Eq / MM-RS-C-AG: split + reorder, separate kernels."""
+        sched = Schedule(self.program)
+        comps = sched.fuse(*self.compute_ops, policy=ComputationFuse)
+        rs, ag = sched.split(self.allreduce, ARSplitRSAG)
+        sched.reorder(ag, comps)
+        return sched
+
+    def schedule_coconet(self) -> Schedule:
+        """ol(MM, fuse(RS-C-AG)): the autotuner's best schedule."""
+        sched = Schedule(self.program)
+        comps = sched.fuse(*self.compute_ops, policy=ComputationFuse)
+        rs, ag = sched.split(self.allreduce, ARSplitRSAG)
+        results = sched.reorder(ag, comps)
+        block, gathers = results[0], list(results[1:])
+        fused = sched.fuse(rs, block, *gathers, policy=AllReduceFuse)
+        sched.overlap(self.matmul, fused)
+        return sched
+
+    def schedules(self) -> Dict[str, Schedule]:
+        return {
+            "MegatronLM": self.schedule_megatron(),
+            "MM-AR-C": self.schedule_mm_ar_c(),
+            "GShard-Eq": self.schedule_gshard(),
+            "CoCoNet": self.schedule_coconet(),
+        }

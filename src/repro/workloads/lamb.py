@@ -1,0 +1,176 @@
+"""LAMB parameter update in CoCoNet (You et al., used in §6.1).
+
+LAMB extends Adam with a layer-wise trust ratio computed from the norms
+of the parameters and the update. Distributing LAMB is what ZeRO could
+not do ("The ZeRO implementation of LAMB does not support distributing
+optimizer state among GPUs because significant engineering efforts are
+required to implement reduction over distributed gradients and
+weights") — CoCoNet gets it from the same reorder transformation,
+because a Norm over a sliced tensor reduces locally and AllReduces the
+partial (Section 5.2, "Tensor Reduction").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import (
+    FP16,
+    FP32,
+    RANK,
+    AllReduce,
+    DType,
+    Execute,
+    Local,
+    Norm,
+    Pow,
+    Program,
+    Replicated,
+    Scalar,
+    Sqrt,
+    Tensor,
+    Update,
+    world,
+)
+from repro.core.tensor import Expr
+from repro.core.transforms import (
+    AllReduceFuse,
+    ARSplitRSAG,
+    ComputationFuse,
+    Schedule,
+)
+
+BETA1, BETA2, EPSILON = 0.9, 0.999, 1e-6
+WEIGHT_DECAY = 0.01
+#: guard against a zero update norm in the trust ratio
+RATIO_GUARD = 1e-12
+
+
+@dataclass
+class LambWorkload:
+    """The LAMB DSL program plus handles to its named values."""
+
+    program: Program
+    grads: Tensor
+    params: Tensor
+    momentum: Tensor
+    velocity: Tensor
+    lr: Scalar
+    step: Scalar
+    avg: Expr
+    compute_ops: List[Expr] = field(default_factory=list)
+    updates: Tuple[Expr, Expr, Expr] = ()
+
+    @classmethod
+    def build(
+        cls,
+        num_elements: int,
+        world_size: int,
+        grad_dtype: DType = FP16,
+        param_dtype: "DType | None" = None,
+        state_dtype: DType = FP32,
+    ) -> "LambWorkload":
+        if param_dtype is None:
+            # Mixed precision (Figure 10): FP16 gradients and parameters,
+            # FP32 optimizer moments.
+            param_dtype = grad_dtype
+        W = world(world_size)
+        g = Tensor(grad_dtype, (num_elements,), Local, W, RANK, name="g")
+        p = Tensor(param_dtype, (num_elements,), Replicated, W, name="p")
+        m = Tensor(state_dtype, (num_elements,), Replicated, W, name="m")
+        v = Tensor(state_dtype, (num_elements,), Replicated, W, name="v")
+        lr = Scalar(FP32, name="lr", group=W)
+        t = Scalar(FP32, name="t", group=W)
+
+        avg = AllReduce("+", g, name="avg")
+        m_upd = Update(m, m * BETA1 + (1.0 - BETA1) * avg, name="m_")
+        v_upd = Update(v, v * BETA2 + (1.0 - BETA2) * avg * avg, name="v_")
+        m1 = m_upd / (1.0 - Pow(BETA1, t))
+        v1 = v_upd / (1.0 - Pow(BETA2, t))
+        update = m1 / (Sqrt(v1) + EPSILON) + WEIGHT_DECAY * p
+        w_norm = Norm(p, name="w_norm")
+        u_norm = Norm(update, name="u_norm")
+        ratio = w_norm / (u_norm + RATIO_GUARD)
+        p_upd = Update(p, p - lr * ratio * update, name="p_")
+
+        prog = Execute("lamb", [g, p, m, v, lr, t], [p_upd])
+        compute = [e for e in prog.operations if e is not avg]
+        return cls(
+            program=prog,
+            grads=g, params=p, momentum=m, velocity=v, lr=lr, step=t,
+            avg=avg, compute_ops=compute, updates=(m_upd, v_upd, p_upd),
+        )
+
+    # -- the paper's three schedules -----------------------------------------
+
+    def schedule_ar_opt(self) -> Schedule:
+        """AR-LAMB: AllReduce then one fused update kernel."""
+        sched = Schedule(self.program)
+        sched.fuse(*self.compute_ops, policy=ComputationFuse)
+        return sched
+
+    def _split_and_reorder(self):
+        sched = Schedule(self.program)
+        comps = sched.fuse(*self.compute_ops, policy=ComputationFuse)
+        rs_g, ag_g = sched.split(self.avg, ARSplitRSAG)
+        results = sched.reorder(ag_g, comps)
+        block, gathers = results[0], list(results[1:])
+        sched.asSlice(self.momentum, dim=0)
+        sched.asSlice(self.velocity, dim=0)
+        ag_p = None
+        for gather in gathers:
+            gather = sched.resolve(gather)
+            wb = getattr(gather, "writeback", None)
+            if wb is not None and wb.name == "p":
+                ag_p = gather
+            else:
+                sched.dead(gather)
+        assert ag_p is not None
+        return sched, rs_g, block, [ag_p]
+
+    def schedule_gshard(self) -> Schedule:
+        """RS-LAMB-AG with separate kernels (what ZeRO cannot do)."""
+        sched, _, _, _ = self._split_and_reorder()
+        return sched
+
+    def schedule_fused(self) -> Schedule:
+        """fuse(RS-LAMB-AG): one FusedAllReduce kernel."""
+        sched, rs_g, block, gathers = self._split_and_reorder()
+        sched.fuse(rs_g, block, *gathers, policy=AllReduceFuse)
+        return sched
+
+    def schedules(self) -> Dict[str, Schedule]:
+        return {
+            "AR-LAMB": self.schedule_ar_opt(),
+            "RS-LAMB-AG": self.schedule_gshard(),
+            "fuse(RS-LAMB-AG)": self.schedule_fused(),
+        }
+
+
+def lamb_reference(
+    grads: np.ndarray,
+    params: np.ndarray,
+    momentum: np.ndarray,
+    velocity: np.ndarray,
+    lr: float,
+    step: float,
+    beta1: float = BETA1,
+    beta2: float = BETA2,
+    eps: float = EPSILON,
+    weight_decay: float = WEIGHT_DECAY,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Reference LAMB step (float64). ``grads``: (world_size, N)."""
+    avg = grads.astype(np.float64).sum(axis=0)
+    m = momentum.astype(np.float64) * beta1 + (1.0 - beta1) * avg
+    v = velocity.astype(np.float64) * beta2 + (1.0 - beta2) * avg * avg
+    m1 = m / (1.0 - beta1**step)
+    v1 = v / (1.0 - beta2**step)
+    update = m1 / (np.sqrt(v1) + eps) + weight_decay * params.astype(np.float64)
+    w_norm = np.sqrt(np.sum(params.astype(np.float64) ** 2))
+    u_norm = np.sqrt(np.sum(update**2))
+    ratio = w_norm / (u_norm + RATIO_GUARD)
+    p = params.astype(np.float64) - lr * ratio * update
+    return p, m, v

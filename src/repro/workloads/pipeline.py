@@ -1,0 +1,187 @@
+"""Pipeline-parallel transformer operations (Figure 8, §6.3).
+
+Megatron-LM assigns transformer layers to groups of ranks; each group
+uses model parallelism internally and sends its activations to the next
+group. The operations of interest (Figure 8a)::
+
+    Var sum    = AllReduce("+", in);             // within the group
+    Var send   = Dropout(sum + b, 0.1) + r;
+    Var output = Send(send, GroupRank(GROUP + 1, RANK));
+
+"Since the output of AllReduce is replicated, redundant data is sent
+using P2P" — every rank of the group ships the same buffer across the
+InfiniBand network. The optimized schedule (Figure 8b) slices the send,
+fuses computation into it, and overlaps ReduceScatter / fused P2P /
+AllGather at tile granularity (Figure 7b)::
+
+    fuseSend         = fuse(send, output, SendFuse);
+    (rsSum, agSum)   = split(sum, ARSplitRSAG);
+    (scSend, agOut)  = reorder(fuseSend, agSum, AGReorder);
+    overlapOut       = overlap(rsSum, scSend, agOut);
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core import (
+    FP16,
+    GROUP,
+    RANK,
+    AllReduce,
+    Binary,
+    DType,
+    Dropout,
+    Execute,
+    GroupRank,
+    Local,
+    Program,
+    Replicated,
+    Send,
+    Slice,
+    Tensor,
+    split_world,
+)
+from repro.core.tensor import Expr
+from repro.core.transforms import (
+    ARSplitRSAG,
+    ComputationFuse,
+    Schedule,
+    SendFuse,
+)
+
+
+@dataclass
+class PipelineWorkload:
+    """Figure 8a's program between two pipeline groups."""
+
+    program: Program
+    allreduce: Expr
+    compute_ops: List[Expr]
+    send: Expr
+    batch: int
+    seq: int
+    hidden: int
+    group_size: int
+
+    @classmethod
+    def build(
+        cls,
+        batch: int,
+        seq: int,
+        hidden: int,
+        world_size: int,
+        num_groups: int = 2,
+        dtype: DType = FP16,
+        dropout_seed: int = 0x88,
+    ) -> "PipelineWorkload":
+        groups = split_world(world_size, num_groups)
+        g0 = groups[0]
+        in_ = Tensor(dtype, (batch, seq, hidden), Local, g0, RANK, name="in")
+        b = Tensor(dtype, (hidden,), Replicated, g0, name="b")
+        r = Tensor(dtype, (batch, seq, hidden), Replicated, g0, name="r")
+
+        s = AllReduce("+", in_, name="sum")
+        sum_b = Binary("+", s, b, name="sum_b")
+        drop = Dropout(sum_b, 0.1, seed=dropout_seed, name="dropout")
+        send_val = Binary("+", drop, r, name="send")
+        output = Send(send_val, GroupRank(GROUP + 1, RANK), name="output")
+        prog = Execute("transformer", [in_, b, r], [output])
+        return cls(
+            program=prog,
+            allreduce=s,
+            compute_ops=[sum_b, drop, send_val],
+            send=output,
+            batch=batch, seq=seq, hidden=hidden, group_size=g0.size,
+        )
+
+    # -- §6.3.1 schedules ------------------------------------------------
+
+    def schedule_megatron(self) -> Schedule:
+        """Baseline: AR + unfused computations + full-size P2P per rank."""
+        return Schedule(self.program)
+
+    def schedule_ar_c_p2p_ag(self) -> Schedule:
+        """AR-C-P2P-AG: keep the AllReduce but slice computation + P2P.
+
+        Built as the equivalent program with an explicit Slice after the
+        AllReduce (the paper derives it by slicing the AR output), with
+        all computations fused.
+        """
+        variant = _sliced_ar_variant(self)
+        sched = Schedule(variant.program)
+        sched.fuse(*variant.compute_ops, policy=ComputationFuse)
+        return sched
+
+    def schedule_gshard(self) -> Schedule:
+        """GShard-Eq / RS-C-P2P-AG: split + reorder, separate kernels."""
+        sched = Schedule(self.program)
+        comps = sched.fuse(*self.compute_ops, policy=ComputationFuse)
+        fuse_send = sched.fuse(comps, self.send, policy=SendFuse)
+        rs, ag = sched.split(self.allreduce, ARSplitRSAG)
+        sched.reorder(ag, fuse_send)
+        # GShard keeps communication unfused: dissolve the send fusion
+        # back into compute + P2P kernels, keeping the compute fused.
+        members = sched.unfuse(fuse_send)
+        comp_members = [m for m in members if not isinstance_send(m)]
+        if len(comp_members) >= 2:
+            sched.fuse(*comp_members, policy=ComputationFuse)
+        return sched
+
+    def schedule_coconet(self) -> Schedule:
+        """ol(RS, fuse(C-P2P), AG): Figure 8b, the autotuner's best."""
+        sched = Schedule(self.program)
+        comps = sched.fuse(*self.compute_ops, policy=ComputationFuse)
+        fuse_send = sched.fuse(comps, self.send, policy=SendFuse)
+        rs, ag = sched.split(self.allreduce, ARSplitRSAG)
+        results = sched.reorder(ag, fuse_send)
+        block, gathers = results[0], list(results[1:])
+        sched.overlap(rs, block, *gathers)
+        return sched
+
+    def schedules(self) -> Dict[str, Schedule]:
+        return {
+            "MegatronLM": self.schedule_megatron(),
+            "AR-C-P2P-AG": self.schedule_ar_c_p2p_ag(),
+            "GShard-Eq": self.schedule_gshard(),
+            "CoCoNet": self.schedule_coconet(),
+        }
+
+
+def isinstance_send(e: Expr) -> bool:
+    from repro.core import ops
+
+    return isinstance(e, ops.Send)
+
+
+def _sliced_ar_variant(wl: PipelineWorkload) -> PipelineWorkload:
+    """The AR-C-P2P-AG program: AR, slice, sliced comps, sliced P2P, AG."""
+    from repro.core import AllGather
+
+    prog = wl.program
+    g0 = prog.inputs[0].group
+    in_ = prog.inputs[0]
+    b = prog.inputs[1]
+    r = prog.inputs[2]
+    drop_seed = next(
+        e.seed for e in prog.operations if hasattr(e, "seed")
+    )
+    s = AllReduce("+", in_, name="sum")
+    sliced = Slice(s, 1, name="sliced_sum")
+    sum_b = Binary("+", sliced, b, name="sum_b")
+    drop = Dropout(sum_b, 0.1, seed=drop_seed, name="dropout")
+    send_val = Binary("+", drop, Slice(r, 1, name="sliced_r"), name="send")
+    output = Send(send_val, GroupRank(GROUP + 1, RANK), name="output")
+    gathered = AllGather(output, name="ag_output")
+    program = Execute("transformer", [in_, b, r], [gathered])
+    return PipelineWorkload(
+        program=program,
+        allreduce=s,
+        compute_ops=[e for e in program.operations
+                     if e.name in ("sliced_sum", "sum_b", "dropout",
+                                   "sliced_r", "send")],
+        send=output,
+        batch=wl.batch, seq=wl.seq, hidden=wl.hidden,
+        group_size=wl.group_size,
+    )

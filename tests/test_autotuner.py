@@ -1,0 +1,100 @@
+"""Tests for the autotuner (§3.5 and the schedule findings of §6)."""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.autotuner import Autotuner, _fuse_pointwise_regions
+from repro.core.transforms import Schedule
+from repro.workloads.adam import AdamWorkload
+from repro.workloads.attention import AttentionWorkload
+from repro.workloads.pipeline import PipelineWorkload
+from tests.conftest import build_attention_program
+
+
+class TestPointwiseFusionPrepass:
+    def test_connected_ops_form_one_block(self):
+        wl = AdamWorkload.build(2**16, 16)
+        sched = Schedule(wl.program)
+        blocks = _fuse_pointwise_regions(sched)
+        # all of Adam's pointwise ops are def-use connected
+        assert len(blocks) == 1
+        assert len(blocks[0].members) == len(wl.compute_ops)
+
+    def test_prepass_skips_single_op(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        # the attention epilogue has 3 connected pointwise ops
+        blocks = _fuse_pointwise_regions(sched)
+        assert len(blocks) == 1 and len(blocks[0].members) == 3
+
+
+class TestSearch:
+    def test_explores_multiple_schedules(self):
+        wl = AttentionWorkload.build(8, 1024, 3072, 16)
+        result = Autotuner(Cluster(1)).tune(wl.program)
+        assert len(result.candidates) >= 5
+        names = [c.name for c in result.candidates]
+        assert "default" in names
+
+    def test_attention_best_is_overlap(self):
+        # §6.2.1: "The autotuner returned this [ol(MM,fuse(RS-C-AG))] as
+        # the best schedule"
+        wl = AttentionWorkload.build(8, 1024, 3072, 16)
+        result = Autotuner(Cluster(1)).tune(wl.program)
+        assert "overlap" in result.best.name
+        assert "split" in result.best.name
+
+    def test_adam_small_prefers_ar_opt(self):
+        # Figure 10a: "AR-Adam runs best till 2^16"
+        wl = AdamWorkload.build(2**12, 256)
+        result = Autotuner(Cluster(16)).tune(wl.program)
+        assert result.best.name == "fused-compute"
+
+    def test_adam_large_prefers_distributed(self):
+        # Figure 10a: "fuse(RS-A-AG) runs best after 2^17"
+        wl = AdamWorkload.build(2**28, 256)
+        result = Autotuner(Cluster(16)).tune(wl.program)
+        assert "split" in result.best.name
+        assert "slice_state" in result.best.name
+
+    def test_crossover_exists(self):
+        # there must be a size where the best schedule flips — "There is
+        # no schedule that performs best for all sizes" (§6.1.1)
+        small = Autotuner(Cluster(16)).tune(
+            AdamWorkload.build(2**12, 256).program
+        )
+        large = Autotuner(Cluster(16)).tune(
+            AdamWorkload.build(2**28, 256).program
+        )
+        assert small.best.name != large.best.name
+
+    def test_pipeline_best_overlaps_comm(self):
+        wl = PipelineWorkload.build(
+            2, 2048, 12288, world_size=32, num_groups=2
+        )
+        result = Autotuner(Cluster(2)).tune(wl.program)
+        assert "split" in result.best.name
+
+    def test_candidates_timed_consistently(self):
+        wl = AttentionWorkload.build(8, 1024, 3072, 16)
+        result = Autotuner(Cluster(1)).tune(wl.program)
+        best_time = min(c.time for c in result.candidates)
+        assert result.best.time == best_time
+
+    def test_report_format(self):
+        wl = AttentionWorkload.build(8, 1024, 3072, 16)
+        result = Autotuner(Cluster(1)).tune(wl.program)
+        text = result.report()
+        assert "explored" in text and "best" in text
+
+    def test_elapsed_recorded(self):
+        wl = AttentionWorkload.build(8, 1024, 3072, 16)
+        result = Autotuner(Cluster(1)).tune(wl.program)
+        assert result.elapsed_seconds > 0
+
+    def test_candidate_schedules_are_executable_programs(self):
+        # every candidate is a standalone valid program (Figure 4 note)
+        wl = AttentionWorkload.build(4, 8, 16, 4)
+        result = Autotuner(Cluster(1)).tune(wl.program)
+        for c in result.candidates:
+            assert c.schedule.program.operations  # validates the DFG

@@ -1,0 +1,113 @@
+"""Tests for the baseline training strategies and Apex model (Table 4)."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_STRATEGIES,
+    FUSED_ADAM,
+    FUSED_LAMB,
+    CoCoNetStrategy,
+    NVBertStrategy,
+    PyTorchDDPStrategy,
+    ZeROStrategy,
+)
+from repro.cluster import Cluster
+from repro.workloads.models import BERT_1_2B, BERT_336M, BERT_3_9B
+
+
+@pytest.fixture
+def cluster():
+    return Cluster(16)
+
+
+class TestApexModel:
+    def test_lamb_touches_more_bytes_than_adam(self):
+        assert FUSED_LAMB.bytes_per_param > FUSED_ADAM.bytes_per_param
+
+    def test_kernel_time_scales(self):
+        small = FUSED_ADAM.kernel_time(2**12)
+        large = FUSED_ADAM.kernel_time(2**28)
+        assert large > small * 100
+
+    def test_setup_dominates_small(self):
+        t = FUSED_ADAM.kernel_time(2**8)
+        assert t >= FUSED_ADAM.setup_seconds
+
+
+class TestIterationModel:
+    def test_breakdown_sums(self, cluster):
+        s = NVBertStrategy(FUSED_ADAM)
+        it = s.iteration(BERT_336M, 32, cluster)
+        assert it.total == pytest.approx(
+            it.forward_backward + it.gradient_copies
+            + it.communication + it.optimizer
+        )
+
+    def test_nv_bert_pays_copies(self, cluster):
+        it = NVBertStrategy(FUSED_ADAM).iteration(BERT_336M, 32, cluster)
+        assert it.gradient_copies > 0
+
+    def test_coconet_pays_no_copies_or_separate_opt(self, cluster):
+        it = CoCoNetStrategy(FUSED_ADAM).iteration(BERT_336M, 32, cluster)
+        assert it.gradient_copies == 0.0
+        assert it.optimizer == 0.0  # fused into the communication kernel
+
+    def test_ddp_hides_communication(self, cluster):
+        ddp = PyTorchDDPStrategy(FUSED_ADAM).iteration(
+            BERT_336M, 32, cluster
+        )
+        nv = NVBertStrategy(FUSED_ADAM).iteration(BERT_336M, 32, cluster)
+        assert ddp.communication < nv.communication
+
+    def test_bigger_batch_better_throughput(self, cluster):
+        s = CoCoNetStrategy(FUSED_ADAM)
+        t8 = s.iteration(BERT_1_2B, 8, cluster).samples_per_second
+        t32 = s.iteration(BERT_1_2B, 32, cluster).samples_per_second
+        assert t32 > t8
+
+    def test_zero_lamb_does_not_partition(self, cluster):
+        z = ZeROStrategy(FUSED_LAMB)
+        assert z.memory_plan().replicated_bytes_per_param >= 16
+
+    def test_zero_adam_partitions(self, cluster):
+        z = ZeROStrategy(FUSED_ADAM)
+        assert z.memory_plan().sliced_bytes_per_param > 0
+
+
+class TestTable4Shape:
+    def test_coconet_beats_copy_based_baselines_336m(self, cluster):
+        tputs = {
+            s.name: s.throughput(BERT_336M, cluster, cap=32)
+            for s in ALL_STRATEGIES(FUSED_ADAM)
+        }
+        assert tputs["CoCoNet"] > tputs["NV BERT"]
+        assert tputs["CoCoNet"] > tputs["ZeRO"]
+        # DDP hides communication under the backward pass; our idealized
+        # DDP model lands within a few percent of CoCoNet at 336M (the
+        # paper's 1.22x gap comes from DDP overheads we do not model —
+        # see EXPERIMENTS.md)
+        assert tputs["CoCoNet"] > 0.95 * tputs["PyTorch DDP"]
+
+    def test_coconet_fastest_at_1_2b(self, cluster):
+        tputs = {
+            s.name: s.throughput(BERT_1_2B, cluster, cap=32)
+            for s in ALL_STRATEGIES(FUSED_ADAM)
+        }
+        best = max(v for v in tputs.values() if v is not None)
+        assert tputs["CoCoNet"] == pytest.approx(best)
+
+    def test_1_2b_speedup_driven_by_batch(self, cluster):
+        # paper: 1.53x over NV BERT for BERT 1.2B
+        nv = NVBertStrategy(FUSED_ADAM).throughput(BERT_1_2B, cluster, cap=32)
+        cc = CoCoNetStrategy(FUSED_ADAM).throughput(BERT_1_2B, cluster, cap=32)
+        assert 1.2 < cc / nv < 2.2
+
+    def test_3_9b_only_partitioned_strategies_run(self, cluster):
+        assert NVBertStrategy(FUSED_ADAM).throughput(BERT_3_9B, cluster) is None
+        assert (
+            CoCoNetStrategy(FUSED_ADAM).throughput(BERT_3_9B, cluster, cap=32)
+            is not None
+        )
+
+    def test_lamb_lineup_has_four_strategies(self):
+        assert len(ALL_STRATEGIES(FUSED_LAMB)) == 4

@@ -1,0 +1,153 @@
+"""Property tests on the cost model: the structural facts every
+benchmark shape depends on."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import Cluster
+from repro.core.process_group import ProcessGroup, world
+from repro.nccl import LL, LL128, SIMPLE, build_ring, collective_time, p2p_time
+from repro.nccl.config import choose_config
+from repro.nccl.cost_model import Algorithm
+from repro.perf.kernel_cost import CostParams, pointwise_time
+
+
+class TestCollectiveProperties:
+    @given(
+        e1=st.integers(10, 28),
+        delta=st.integers(1, 4),
+        nodes=st.sampled_from([1, 2, 16]),
+        proto=st.sampled_from([LL, LL128, SIMPLE]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_size(self, e1, delta, nodes, proto):
+        cluster = Cluster(nodes)
+        ring = build_ring(cluster, world(cluster.num_ranks))
+        t1 = collective_time(
+            "allreduce", 2**e1, cluster, ring, proto, 8
+        )
+        t2 = collective_time(
+            "allreduce", 2 ** (e1 + delta), cluster, ring, proto, 8
+        )
+        assert t2 >= t1
+
+    @given(
+        e=st.integers(12, 30),
+        proto=st.sampled_from([LL, LL128, SIMPLE]),
+        channels=st.sampled_from([2, 8, 32]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_equals_rs_plus_ag_bandwidth(self, e, proto, channels):
+        """The split transformation's cost-neutrality in the bandwidth
+        regime: AR wire time == RS + AG wire time."""
+        cluster = Cluster(16)
+        ring = build_ring(cluster, world(256))
+        ar = collective_time(
+            "allreduce", 2**e, cluster, ring, proto, channels,
+            include_setup=False,
+        )
+        rs = collective_time(
+            "reducescatter", 2**e, cluster, ring, proto, channels,
+            include_setup=False,
+        )
+        ag = collective_time(
+            "allgather", 2**e, cluster, ring, proto, channels,
+            include_setup=False,
+        )
+        assert ar == pytest.approx(rs + ag, rel=1e-6)
+
+    @given(size=st.integers(2, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_choose_config_never_fails(self, size):
+        cluster = Cluster(16)
+        if size > cluster.num_ranks:
+            size = cluster.num_ranks
+        group = ProcessGroup(0, size, cluster.num_ranks)
+        cfg, t = choose_config("allreduce", 2**20, cluster, group)
+        assert t > 0
+
+    @given(
+        pairs1=st.integers(1, 8),
+        extra=st.integers(1, 8),
+        nbytes=st.integers(2**10, 2**28),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_p2p_monotone_in_contention(self, pairs1, extra, nbytes):
+        cluster = Cluster(2)
+        t1 = p2p_time(nbytes, cluster, concurrent_pairs=pairs1)
+        t2 = p2p_time(nbytes, cluster, concurrent_pairs=pairs1 + extra)
+        assert t2 >= t1
+
+    def test_subgroup_cheaper_than_world(self):
+        cluster = Cluster(16)
+        sub = ProcessGroup(0, 16, 256)
+        _, t_sub = choose_config("allreduce", 2**26, cluster, sub)
+        _, t_world = choose_config("allreduce", 2**26, cluster, world(256))
+        assert t_sub < t_world
+
+
+class TestPointwiseProperties:
+    @given(
+        b1=st.integers(10, 30),
+        delta=st.integers(0, 4),
+        ramp=st.floats(1e5, 1e7),
+        peak=st.floats(0.5, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_monotone_in_bytes(self, b1, delta, ramp, peak):
+        params = CostParams(ramp_bytes=ramp, peak_fraction=peak)
+        t1 = pointwise_time(2**b1, params=params)
+        t2 = pointwise_time(2 ** (b1 + delta), params=params)
+        assert t2 >= t1
+
+    @given(bytes_=st.integers(2**10, 2**32))
+    @settings(max_examples=30, deadline=None)
+    def test_never_beats_hbm_roofline(self, bytes_):
+        from repro.cluster import TESLA_V100
+
+        t = pointwise_time(bytes_, include_launch=False)
+        assert t >= bytes_ / TESLA_V100.hbm_bandwidth
+
+    @given(
+        bytes_=st.integers(2**10, 2**30),
+        setup=st.floats(0, 1e-4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_setup_is_additive(self, bytes_, setup):
+        base = pointwise_time(bytes_, params=CostParams())
+        with_setup = pointwise_time(
+            bytes_, params=CostParams(setup=setup)
+        )
+        assert with_setup == pytest.approx(base + setup, rel=1e-9)
+
+
+class TestOverlapProperties:
+    @given(batch=st.sampled_from([4, 8, 16, 32]))
+    @settings(max_examples=8, deadline=None)
+    def test_overlap_bounded_by_components_and_sum(self, batch):
+        from repro.core import (
+            FP16, RANK, AllReduce, Execute, MatMul, Sliced, Tensor, world,
+        )
+        from repro.core.transforms import Schedule
+        from repro.perf import ProgramCostModel
+
+        def build():
+            W = world(16)
+            a = Tensor(
+                FP16, (batch * 1024, 768 * 16), Sliced(1), W, RANK, name="a"
+            )
+            w = Tensor(FP16, (768 * 16, 3072), Sliced(0), W, RANK, name="w")
+            mm = MatMul(a, w, name="mm")
+            ar = AllReduce("+", mm, name="ar")
+            return Execute("p", [a, w], [ar]), mm, ar
+
+        cluster = Cluster(1)
+        prog, mm, ar = build()
+        pcm = ProgramCostModel(cluster)
+        parts = pcm.kernel_breakdown(prog)
+        prog2, mm2, ar2 = build()
+        sched = Schedule(prog2)
+        sched.overlap(mm2, ar2)
+        t = ProgramCostModel(cluster).time(sched)
+        assert max(parts.values()) <= t <= sum(parts.values()) * 1.05

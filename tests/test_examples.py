@@ -1,0 +1,51 @@
+"""Smoke tests: every shipped example runs end to end and asserts its
+own invariants (examples contain `assert`s on numerics)."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "data_parallel_adam.py",
+    "model_parallel_attention.py",
+    "pipeline_parallel_gpt3.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    path = os.path.join(EXAMPLES_DIR, script)
+    proc = subprocess.run(
+        [sys.executable, path],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_reports_speedup():
+    proc = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "Semantics preserved" in proc.stdout
+    assert "speedup" in proc.stdout.lower()
+
+
+def test_pipeline_example_reports_table5():
+    proc = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(EXAMPLES_DIR, "pipeline_parallel_gpt3.py"),
+        ],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert "GPT-3 175B" in proc.stdout
+    assert "paper reports" in proc.stdout

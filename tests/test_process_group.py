@@ -1,0 +1,107 @@
+"""Tests for RANK / GROUP / WORLD semantics."""
+
+import pytest
+
+from repro.core.process_group import (
+    RANK,
+    ProcessGroup,
+    _SymbolicRank,
+    split_world,
+    world,
+)
+from repro.errors import GroupError
+
+
+class TestWorld:
+    def test_world_covers_all_ranks(self):
+        w = world(16)
+        assert list(w.ranks) == list(range(16))
+        assert len(w) == 16
+
+    def test_world_repr(self):
+        assert repr(world(8)) == "WORLD(8)"
+
+    def test_world_of_zero_raises(self):
+        with pytest.raises(GroupError):
+            world(0)
+
+
+class TestSplitWorld:
+    def test_equal_split(self):
+        groups = split_world(32, 2)
+        assert len(groups) == 2
+        assert list(groups[0].ranks) == list(range(16))
+        assert list(groups[1].ranks) == list(range(16, 32))
+
+    def test_uneven_split_raises(self):
+        with pytest.raises(GroupError, match="equal groups"):
+            split_world(10, 3)
+
+    def test_group_index(self):
+        groups = split_world(32, 4)
+        assert [g.index for g in groups] == [0, 1, 2, 3]
+
+    def test_single_group_is_world_sized(self):
+        (g,) = split_world(8, 1)
+        assert g.size == 8
+
+
+class TestRankTranslation:
+    def test_local_rank(self):
+        g = ProcessGroup(16, 16, 32)
+        assert g.local_rank(16) == 0
+        assert g.local_rank(31) == 15
+
+    def test_local_rank_outside_raises(self):
+        g = ProcessGroup(16, 16, 32)
+        with pytest.raises(GroupError):
+            g.local_rank(5)
+
+    def test_global_rank(self):
+        g = ProcessGroup(16, 16, 32)
+        assert g.global_rank(0) == 16
+        assert g.global_rank(15) == 31
+
+    def test_global_rank_out_of_range(self):
+        g = ProcessGroup(0, 4, 8)
+        with pytest.raises(GroupError):
+            g.global_rank(4)
+
+    def test_contains(self):
+        g = ProcessGroup(4, 4, 12)
+        assert 4 in g and 7 in g
+        assert 3 not in g and 8 not in g
+
+
+class TestNextGroup:
+    def test_next_group_pipeline_addressing(self):
+        # GroupRank(GROUP + 1, RANK) addressing of Figure 8a
+        g0, g1 = split_world(32, 2)
+        assert g0.next_group() == g1
+
+    def test_next_group_offset(self):
+        groups = split_world(64, 4)
+        assert groups[0].next_group(3) == groups[3]
+
+    def test_next_group_past_world_raises(self):
+        g0, g1 = split_world(32, 2)
+        with pytest.raises(GroupError):
+            g1.next_group()
+
+
+class TestGroupValidation:
+    def test_exceeding_world_raises(self):
+        with pytest.raises(GroupError):
+            ProcessGroup(8, 16, 16)
+
+    def test_negative_start_raises(self):
+        with pytest.raises(GroupError):
+            ProcessGroup(-1, 4, 8)
+
+
+class TestSymbolicRank:
+    def test_singleton(self):
+        assert _SymbolicRank() is RANK
+
+    def test_repr(self):
+        assert repr(RANK) == "RANK"

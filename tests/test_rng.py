@@ -1,0 +1,95 @@
+"""Tests for the counter-based RNG: the property that makes Dropout
+reorderable (its mask is keyed on global element indices)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import rng
+
+
+class TestGlobalIndices:
+    def test_unsliced_is_arange(self):
+        idx = rng.global_indices((2, 3))
+        np.testing.assert_array_equal(
+            idx, np.arange(6, dtype=np.uint64).reshape(2, 3)
+        )
+
+    def test_sliced_indices_are_global(self):
+        full = rng.global_indices((4, 6))
+        part = rng.global_indices((4, 6), slice_dim=0, slice_index=1,
+                                  num_slices=2)
+        np.testing.assert_array_equal(part, full[2:4])
+
+    def test_sliced_along_inner_dim(self):
+        full = rng.global_indices((4, 6))
+        part = rng.global_indices((4, 6), slice_dim=1, slice_index=2,
+                                  num_slices=3)
+        np.testing.assert_array_equal(part, full[:, 4:6])
+
+    def test_scalar_shape(self):
+        assert rng.global_indices(()).shape == ()
+
+
+class TestUniform:
+    def test_deterministic(self):
+        idx = rng.global_indices((8,))
+        a = rng.uniform(42, idx)
+        b = rng.uniform(42, idx)
+        np.testing.assert_array_equal(a, b)
+
+    def test_seed_changes_values(self):
+        idx = rng.global_indices((64,))
+        assert not np.array_equal(rng.uniform(1, idx), rng.uniform(2, idx))
+
+    def test_in_unit_interval(self):
+        idx = rng.global_indices((1000,))
+        u = rng.uniform(7, idx)
+        assert np.all(u >= 0.0) and np.all(u < 1.0)
+
+    def test_roughly_uniform(self):
+        idx = rng.global_indices((20000,))
+        u = rng.uniform(3, idx)
+        assert abs(u.mean() - 0.5) < 0.02
+        assert abs(np.quantile(u, 0.25) - 0.25) < 0.02
+
+
+class TestDropoutMask:
+    def test_mask_values_are_zero_or_scaled(self):
+        mask = rng.dropout_mask(5, 0.25, (128,))
+        unique = set(np.unique(mask))
+        assert unique <= {0.0, 1.0 / 0.75}
+
+    def test_drop_rate_close_to_prob(self):
+        mask = rng.dropout_mask(5, 0.3, (50000,))
+        rate = float(np.mean(mask == 0.0))
+        assert abs(rate - 0.3) < 0.01
+
+    def test_slicing_invariance(self):
+        # THE property: slices of the full mask equal sliced masks
+        full = rng.dropout_mask(9, 0.5, (8, 6))
+        for i in range(4):
+            part = rng.dropout_mask(
+                9, 0.5, (8, 6), slice_dim=0, slice_index=i, num_slices=4
+            )
+            np.testing.assert_array_equal(part, full[i * 2 : (i + 1) * 2])
+
+    @given(
+        seed=st.integers(0, 10_000),
+        rows=st.integers(1, 4),
+        parts=st.integers(1, 4),
+        dim=st.integers(0, 1),
+        prob=st.floats(0.0, 0.9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_slicing_invariance_property(self, seed, rows, parts, dim, prob):
+        shape = (rows * parts, 3) if dim == 0 else (3, rows * parts)
+        full = rng.dropout_mask(seed, prob, shape)
+        pieces = [
+            rng.dropout_mask(
+                seed, prob, shape, slice_dim=dim, slice_index=i,
+                num_slices=parts,
+            )
+            for i in range(parts)
+        ]
+        np.testing.assert_array_equal(np.concatenate(pieces, axis=dim), full)

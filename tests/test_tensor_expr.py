@@ -1,0 +1,137 @@
+"""Tests for expression leaves and operator sugar."""
+
+import pytest
+
+from repro.core import (
+    FP16,
+    FP32,
+    RANK,
+    Binary,
+    Const,
+    Local,
+    Replicated,
+    Scalar,
+    Sliced,
+    Tensor,
+    world,
+)
+from repro.errors import LayoutError, ShapeError
+
+
+@pytest.fixture
+def W():
+    return world(4)
+
+
+class TestTensorDeclaration:
+    def test_paper_style_declaration(self, W):
+        w = Tensor(FP16, (16, 16), Sliced(0), W, RANK, name="w")
+        assert w.shape == (16, 16)
+        assert w.layout.is_sliced
+        assert w.dtype is FP16
+
+    def test_replicated_rejects_rank(self, W):
+        # "it does not have a rank identifier" (§2.1)
+        with pytest.raises(LayoutError, match="does not take a rank"):
+            Tensor(FP16, (4,), Replicated, W, RANK)
+
+    def test_sliced_requires_rank(self, W):
+        # "A local tensor requires RANK to identify the values"
+        with pytest.raises(LayoutError, match="requires the RANK"):
+            Tensor(FP16, (4,), Sliced(0), W)
+
+    def test_local_requires_rank(self, W):
+        with pytest.raises(LayoutError):
+            Tensor(FP16, (4,), Local, W)
+
+    def test_indivisible_slice_rejected_at_declaration(self, W):
+        with pytest.raises(LayoutError):
+            Tensor(FP16, (6,), Sliced(0), W, RANK)
+
+    def test_non_positive_shape_rejected(self, W):
+        with pytest.raises(ShapeError):
+            Tensor(FP16, (0, 4), Replicated, W)
+
+    def test_auto_names_unique(self, W):
+        a = Tensor(FP16, (4,), Replicated, W)
+        b = Tensor(FP16, (4,), Replicated, W)
+        assert a.name != b.name
+
+
+class TestShapes:
+    def test_per_rank_shape_sliced(self, W):
+        t = Tensor(FP16, (8, 16), Sliced(1), W, RANK)
+        assert t.per_rank_shape() == (8, 4)
+
+    def test_per_rank_shape_replicated(self, W):
+        t = Tensor(FP16, (8, 16), Replicated, W)
+        assert t.per_rank_shape() == (8, 16)
+
+    def test_num_elements(self, W):
+        t = Tensor(FP16, (8, 16), Replicated, W)
+        assert t.num_elements == 128
+
+    def test_per_rank_bytes_accounts_for_slice_and_dtype(self, W):
+        t16 = Tensor(FP16, (64,), Sliced(0), W, RANK)
+        t32 = Tensor(FP32, (64,), Replicated, W)
+        assert t16.per_rank_bytes() == 16 * 2
+        assert t32.per_rank_bytes() == 64 * 4
+
+
+class TestScalarAndConst:
+    def test_scalar_is_zero_dim_replicated(self, W):
+        s = Scalar(FP32, name="lr", group=W)
+        assert s.shape == ()
+        assert s.layout.is_replicated
+
+    def test_scalar_requires_group(self):
+        with pytest.raises(LayoutError):
+            Scalar(FP32, name="lr", group=None)
+
+    def test_const_value(self, W):
+        c = Const(0.1, W)
+        assert c.value == 0.1
+        assert c.shape == ()
+
+    def test_const_signature(self, W):
+        assert "0.1" in Const(0.1, W).signature()
+
+
+class TestOperatorSugar:
+    def test_add_builds_binary(self, W):
+        a = Tensor(FP32, (4,), Replicated, W)
+        b = Tensor(FP32, (4,), Replicated, W)
+        expr = a + b
+        assert isinstance(expr, Binary) and expr.op == "+"
+        assert expr.inputs == (a, b)
+
+    def test_scalar_lift(self, W):
+        a = Tensor(FP32, (4,), Replicated, W)
+        expr = a * 0.5
+        assert isinstance(expr.inputs[1], Const)
+        assert expr.inputs[1].value == 0.5
+
+    def test_reflected_ops(self, W):
+        a = Tensor(FP32, (4,), Replicated, W)
+        expr = 1.0 - a
+        assert expr.op == "-"
+        assert isinstance(expr.inputs[0], Const)
+
+    def test_division(self, W):
+        a = Tensor(FP32, (4,), Replicated, W)
+        b = Tensor(FP32, (4,), Replicated, W)
+        assert (a / b).op == "/"
+
+    def test_negation(self, W):
+        a = Tensor(FP32, (4,), Replicated, W)
+        expr = -a
+        assert expr.op == "*"
+
+    def test_hash_is_identity(self, W):
+        a = Tensor(FP32, (4,), Replicated, W)
+        b = Tensor(FP32, (4,), Replicated, W)
+        assert len({a, b}) == 2
+
+    def test_signature_format(self, W):
+        t = Tensor(FP16, (8, 4), Sliced(1), W, RANK, name="x")
+        assert t.signature() == "x(FP16, [8,4], Sliced(1))"

@@ -1,0 +1,372 @@
+"""Tests for the four transformations: split, reorder, fuse, overlap
+(Section 3), plus asSlice/dead (Section 4)."""
+
+import pytest
+
+from repro.core import (
+    FP32,
+    RANK,
+    AllGather,
+    AllReduce,
+    Binary,
+    Dropout,
+    Execute,
+    Local,
+    MatMul,
+    ReduceScatter,
+    Replicated,
+    Slice,
+    Sliced,
+    Tensor,
+    Update,
+    world,
+)
+from repro.core import ops
+from repro.core.transforms import (
+    AllReduceFuse,
+    ARSplitReduceBroadcast,
+    ARSplitRSAG,
+    ComputationFuse,
+    KernelKind,
+    Schedule,
+    SendFuse,
+)
+from repro.errors import TransformError
+from tests.conftest import build_attention_program
+
+
+class TestSplit:
+    def test_split_rs_ag_replaces_allreduce(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        rs, ag = sched.split(h["allreduce"], ARSplitRSAG)
+        assert isinstance(rs, ReduceScatter)
+        assert isinstance(ag, AllGather)
+        ops_now = sched.program.operations
+        assert rs in ops_now and ag in ops_now
+        assert not any(isinstance(e, AllReduce) for e in ops_now)
+
+    def test_split_is_always_valid_for_allreduce(self):
+        # §3.1: "this transformation is always valid"
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        rs, ag = sched.split(h["allreduce"])
+        assert ag.inputs[0] is rs
+
+    def test_split_choosing_divisible_dim(self):
+        # batch=4 < world=4 divides; but with batch 2 dim0 fails -> dim1
+        prog, h = build_attention_program(n=4, batch=2, seq=8)
+        sched = Schedule(prog)
+        rs, _ = sched.split(h["allreduce"])
+        assert rs.layout == Sliced(1)
+
+    def test_split_reduce_broadcast_policy(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        red, bc = sched.split(h["allreduce"], ARSplitReduceBroadcast)
+        assert isinstance(red, ops.Reduce)
+        assert isinstance(bc, ops.Broadcast)
+
+    def test_split_non_allreduce_rejected(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="expects an AllReduce"):
+            sched.split(h["layer"])
+
+    def test_split_records_step(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        sched.split(h["allreduce"])
+        assert any("split" in s for s in sched.steps)
+
+
+class TestReorder:
+    def test_reorder_slices_computations(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        _, ag = sched.split(h["allreduce"])
+        results = sched.reorder(ag, h["sum_b"], h["drop"], h["out"])
+        sliced_ops, gather = results[:-1], results[-1]
+        for e in sliced_ops:
+            assert e.layout.is_sliced
+        assert isinstance(gather, AllGather)
+        assert sched.program.outputs[0] is gather
+
+    def test_reorder_inserts_slice_for_covering_replicated(self):
+        # "all tensors input to the computations are also sliced" (§3.2)
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        _, ag = sched.split(h["allreduce"])
+        sched.reorder(ag, h["sum_b"], h["drop"], h["out"])
+        slices = [e for e in sched.program.operations if isinstance(e, Slice)]
+        assert len(slices) == 1  # Slice(r); the bias b needs none
+        assert slices[0].inputs[0] is h["r"]
+
+    def test_reorder_preserves_dropout_seed(self):
+        prog, h = build_attention_program(seed=777)
+        sched = Schedule(prog)
+        _, ag = sched.split(h["allreduce"])
+        sched.reorder(ag, h["sum_b"], h["drop"], h["out"])
+        drop = next(
+            e for e in sched.program.operations if isinstance(e, Dropout)
+        )
+        assert drop.seed == 777
+
+    def test_reorder_requires_all_users_in_region(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        _, ag = sched.split(h["allreduce"])
+        with pytest.raises(TransformError, match="consumes"):
+            sched.reorder(ag, h["drop"], h["out"])  # sum_b missing
+
+    def test_reorder_rejects_matmul(self):
+        # §3.2 validity: matrix ops cannot be sliced along the gather dim
+        W = world(4)
+        x = Tensor(FP32, (8, 16), Local, W, RANK, name="x")
+        w2 = Tensor(FP32, (16, 16), Replicated, W, name="w2")
+        ar = AllReduce("+", x, name="ar")
+        mm = MatMul(ar, w2, name="mm")
+        prog = Execute("p", [x, w2], [mm])
+        sched = Schedule(prog)
+        _, ag = sched.split(ar)
+        with pytest.raises(TransformError, match="sliceable|MatMul|matrix"):
+            sched.reorder(ag, mm)
+
+    def test_reorder_non_allgather_rejected(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="expects an AllGather"):
+            sched.reorder(h["allreduce"], h["drop"])
+
+    def test_reorder_update_creates_writeback_gather(self):
+        W = world(4)
+        g = Tensor(FP32, (8,), Local, W, RANK, name="g")
+        p = Tensor(FP32, (8,), Replicated, W, name="p")
+        ar = AllReduce("+", g, name="ar")
+        new_p = Binary("-", p, ar, name="new_p")
+        upd = Update(p, new_p, name="upd")
+        prog = Execute("sgd", [g, p], [upd])
+        sched = Schedule(prog)
+        _, ag = sched.split(ar)
+        results = sched.reorder(ag, new_p, upd)
+        gather = results[-1]
+        assert isinstance(gather, AllGather)
+        assert gather.writeback is p
+
+
+class TestFuse:
+    def test_computation_fuse_creates_block(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        block = sched.fuse(
+            h["sum_b"], h["drop"], h["out"], policy=ComputationFuse
+        )
+        kinds = [k.kind for k in sched.plan().kernels]
+        assert KernelKind.FUSED_ELEMENTWISE in kinds
+        assert len(block.members) == 3
+
+    def test_fuse_requires_two_ops(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="at least two"):
+            sched.fuse(h["drop"], policy=ComputationFuse)
+
+    def test_computation_fuse_rejects_comm(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="communication"):
+            sched.fuse(h["allreduce"], h["sum_b"], policy=ComputationFuse)
+
+    def test_computation_fuse_rejects_matmul(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="library kernels"):
+            sched.fuse(h["layer"], h["sum_b"], policy=ComputationFuse)
+
+    def test_convexity_violation_rejected(self):
+        # fusing a with c when b = f(a) and c = g(b) must fail: b would
+        # have to run inside the fused kernel
+        W = world(4)
+        x = Tensor(FP32, (8,), Replicated, W, name="x")
+        a = Binary("+", x, 1.0, name="a")
+        b = AllReduce("+", Binary("*", a, a, name="b_in"), name="b")
+        c = Binary("+", b, a, name="c")
+        prog = Execute("p", [x], [c])
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="middle of the fused"):
+            sched.fuse(a, c, policy=ComputationFuse)
+
+    def test_allreduce_fuse_requires_gather(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        rs, ag = sched.split(h["allreduce"])
+        with pytest.raises(TransformError, match="AllGather"):
+            sched.fuse(rs, h["sum_b"], policy=AllReduceFuse)
+
+    def test_allreduce_fuse_full_pipeline(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        rs, ag = sched.split(h["allreduce"])
+        results = sched.reorder(ag, h["sum_b"], h["drop"], h["out"])
+        block = sched.fuse(rs, *results, policy=AllReduceFuse)
+        plan = sched.plan()
+        fused = [k for k in plan.kernels if k.kind is KernelKind.FUSED_COLLECTIVE]
+        assert len(fused) == 1
+        assert len(fused[0].exprs) == len(block.members)
+
+    def test_double_fuse_rejected(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        sched.fuse(h["sum_b"], h["drop"], policy=ComputationFuse)
+        with pytest.raises(TransformError, match="already belongs"):
+            sched.fuse(h["drop"], h["out"], policy=ComputationFuse)
+
+    def test_fusing_a_block_dissolves_it(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        b1 = sched.fuse(h["sum_b"], h["drop"], policy=ComputationFuse)
+        b2 = sched.fuse(b1, h["out"], policy=ComputationFuse)
+        assert len(b2.members) == 3
+        assert len(sched._blocks) == 1
+
+    def test_unfuse(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        b1 = sched.fuse(h["sum_b"], h["drop"], policy=ComputationFuse)
+        members = sched.unfuse(b1)
+        assert len(members) == 2
+        assert all(
+            k.kind is not KernelKind.FUSED_ELEMENTWISE
+            for k in sched.plan().kernels
+        )
+
+
+class TestOverlap:
+    def test_overlap_requires_producer_consumer(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="producer-consumer"):
+            sched.overlap(h["out"], h["layer"])  # wrong direction
+
+    def test_overlap_marks_plan(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        sched.overlap(h["layer"], h["allreduce"])
+        plan = sched.plan()
+        assert plan.overlap_groups == [["layer", "sum"]]
+
+    def test_overlap_requires_two_items(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="at least two"):
+            sched.overlap(h["layer"])
+
+    def test_overlap_survives_later_rewrites(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        sched.overlap(h["layer"], h["allreduce"])
+        # the AllReduce is subsequently split; the overlap group follows
+        rs, ag = sched.split(h["allreduce"])
+        assert len(sched.plan().overlap_groups) == 1
+
+
+class TestAsSliceAndDead:
+    def _reordered_sgd(self):
+        W = world(4)
+        g = Tensor(FP32, (8,), Local, W, RANK, name="g")
+        p = Tensor(FP32, (8,), Replicated, W, name="p")
+        m = Tensor(FP32, (8,), Replicated, W, name="m")
+        ar = AllReduce("+", g, name="ar")
+        m_upd = Update(m, m * 0.9 + ar, name="m_")
+        p_upd = Update(p, p - m_upd, name="p_")
+        prog = Execute("sgd_m", [g, p, m], [p_upd])
+        sched = Schedule(prog)
+        comps = sched.fuse(*[e for e in prog.operations if e is not ar],
+                           policy=ComputationFuse)
+        _, ag = sched.split(ar)
+        results = sched.reorder(ag, comps)
+        gathers = [r for r in results if isinstance(r, AllGather)]
+        return sched, m, gathers
+
+    def test_as_slice_changes_input_layout(self):
+        sched, m, gathers = self._reordered_sgd()
+        new_m = sched.as_slice(m, dim=0)
+        assert new_m.layout == Sliced(0)
+        names = [t.name for t in sched.program.inputs]
+        m_decl = sched.program.inputs[names.index("m")]
+        assert m_decl.layout == Sliced(0)
+
+    def test_as_slice_collapses_slice_ops(self):
+        sched, m, gathers = self._reordered_sgd()
+        before = [
+            e for e in sched.program.operations
+            if isinstance(e, Slice) and e.inputs[0].name == "m"
+        ]
+        assert before
+        sched.as_slice(m, dim=0)
+        after = [
+            e for e in sched.program.operations
+            if isinstance(e, Slice) and e.inputs[0].name == "m"
+        ]
+        assert not after
+
+    def test_dead_removes_effect_gather(self):
+        sched, m, gathers = self._reordered_sgd()
+        ag_m = next(
+            g for g in gathers
+            if sched.resolve(g).writeback is not None
+            and sched.resolve(g).writeback.name == "m"
+        )
+        sched.as_slice(m, dim=0)
+        sched.dead(ag_m)
+        names = [e.name for e in sched.program.operations]
+        assert sched.resolve(ag_m).name not in names
+
+    def test_dead_rejects_program_output(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="program output"):
+            sched.dead(h["out"])
+
+    def test_dead_rejects_consumed_op(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="consumed|reachable"):
+            sched.dead(h["drop"])
+
+    def test_as_slice_requires_replicated(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        with pytest.raises(TransformError, match="replicated"):
+            sched.as_slice(h["w"])
+
+
+class TestScheduleBookkeeping:
+    def test_describe_lists_steps(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        sched.split(h["allreduce"])
+        text = sched.describe()
+        assert "split" in text
+
+    def test_default_schedule_describe(self):
+        prog, _ = build_attention_program()
+        assert "default" in Schedule(prog).describe()
+
+    def test_dsl_line_count_includes_steps(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        base = sched.dsl_line_count()
+        sched.split(h["allreduce"])
+        assert sched.dsl_line_count() == base + 1
+
+    def test_resolve_chases_chains(self):
+        prog, h = build_attention_program()
+        sched = Schedule(prog)
+        _, ag = sched.split(h["allreduce"])
+        sched.reorder(ag, h["sum_b"], h["drop"], h["out"])
+        # the original AllReduce handle resolves to a current node
+        current = sched.resolve(h["allreduce"])
+        assert current in set(sched.program.operations) | set(
+            sched.program.inputs
+        ) or current.name.startswith("rs_")

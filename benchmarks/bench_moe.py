@@ -1,0 +1,188 @@
+"""MoE expert-MLP over AllToAll: the new workload axis.
+
+No figure of the paper covers Mixture-of-Experts — GShard is the
+*baseline* the paper compares against — so this benchmark establishes
+the reproduction's own reference numbers: simulated times of the
+GShard-Eq / fused / overlapped schedules across capacities on the
+default simulated cluster (one DGX-2 node, 16 GPUs, like §6.2's
+model-parallel runs), plus the flat-vs-hierarchical AllToAll crossover
+across nodes.
+
+Emits ``BENCH_moe.json`` (schedule times in seconds per configuration,
+and the autotuner's verdict) alongside the usual text report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from benchmarks._common import RESULTS_DIR, save_report, table
+from repro.cluster import Cluster
+from repro.core.autotuner import Autotuner
+from repro.perf import ProgramCostModel
+from repro.workloads.moe import MoEWorkload
+
+WORLD_SIZE = 16          # one DGX-2 node: one expert per GPU
+MODEL_DIM = 1024
+FFN_DIM = 4096
+CAPACITIES = [64, 256, 512, 1024, 2048]
+
+#: where the machine-readable report lands (repo root, per the roadmap's
+#: BENCH_* convention)
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "BENCH_moe.json",
+)
+
+
+def run_moe_sweep(cluster=None):
+    """Simulated time per capacity and schedule, plus the tuner's pick."""
+    cluster = cluster or Cluster(1)
+    pcm = ProgramCostModel(cluster)
+    rows = {}
+    for cap in CAPACITIES:
+        wl = MoEWorkload.build(cap, MODEL_DIM, FFN_DIM, WORLD_SIZE)
+        rows[cap] = {
+            name: pcm.time(sched) for name, sched in wl.schedules().items()
+        }
+    return rows
+
+
+def tune_moe(capacity=512, cluster=None):
+    """Autotuner run on one configuration; returns the TuneResult."""
+    cluster = cluster or Cluster(1)
+    wl = MoEWorkload.build(capacity, MODEL_DIM, FFN_DIM, WORLD_SIZE)
+    return Autotuner(cluster).tune(wl.program)
+
+
+def write_json(rows, tune_result) -> dict:
+    payload = {
+        "workload": "moe",
+        "world_size": WORLD_SIZE,
+        "model_dim": MODEL_DIM,
+        "ffn_dim": FFN_DIM,
+        "times_seconds": {
+            str(cap): entry for cap, entry in rows.items()
+        },
+        "autotuner": {
+            "best": tune_result.best.name,
+            "best_time_seconds": tune_result.best.time,
+            "candidates_explored": len(tune_result.candidates),
+        },
+    }
+    with open(JSON_PATH, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return payload
+
+
+def report(rows, tune_result) -> str:
+    names = list(next(iter(rows.values())).keys())
+    body = [
+        [f"C={cap}"]
+        + [f"{rows[cap][n] * 1e6:.1f} us" for n in names]
+        + [f"{rows[cap]['GShard-Eq'] / rows[cap]['overlapped']:.2f}x"]
+        for cap in CAPACITIES
+    ]
+    lines = [
+        f"MoE expert MLP (E={WORLD_SIZE} experts, M={MODEL_DIM}, "
+        f"F={FFN_DIM}) on 1x DGX-2",
+        "dispatch-AllToAll -> expert GEMMs -> combine-AllToAll; speedup "
+        "is overlapped over GShard-Eq",
+        "",
+    ]
+    lines += table(["capacity"] + names + ["speedup"], body)
+    lines += [
+        "",
+        f"autotuner best: {tune_result.best.name} "
+        f"({tune_result.best.time * 1e6:.1f} us, "
+        f"{len(tune_result.candidates)} schedules explored)",
+    ]
+    return save_report("moe", lines)
+
+
+@pytest.fixture(scope="module")
+def moe_rows():
+    return run_moe_sweep()
+
+
+@pytest.fixture(scope="module")
+def moe_tune():
+    return tune_moe()
+
+
+class TestMoESchedules:
+    def test_overlapped_beats_gshard_everywhere(self, moe_rows):
+        # the whole point of breaking the abstraction barrier
+        for cap in CAPACITIES:
+            entry = moe_rows[cap]
+            assert entry["overlapped"] < entry["GShard-Eq"], cap
+
+    def test_fused_beats_gshard_at_scale(self, moe_rows):
+        big = moe_rows[CAPACITIES[-1]]
+        assert big["fused"] < big["GShard-Eq"]
+
+    def test_overlap_gain_grows_with_capacity(self, moe_rows):
+        # larger buffers -> more exchange time to hide under the GEMMs
+        small = moe_rows[CAPACITIES[0]]
+        big = moe_rows[CAPACITIES[-1]]
+        gain_small = small["GShard-Eq"] - small["overlapped"]
+        gain_big = big["GShard-Eq"] - big["overlapped"]
+        assert gain_big > gain_small
+
+    def test_autotuner_returns_overlapped(self, moe_tune):
+        assert "overlap" in moe_tune.best.name
+
+    def test_autotuner_strictly_beats_gshard(self, moe_tune):
+        wl = MoEWorkload.build(512, MODEL_DIM, FFN_DIM, WORLD_SIZE)
+        gshard = ProgramCostModel(Cluster(1)).time(wl.schedule_gshard())
+        assert moe_tune.best.time < gshard
+
+    def test_hierarchical_crossover_across_nodes(self):
+        # 4 nodes: at small capacities k-1 large NIC messages beat
+        # (k-1)*m small ones; at large capacities the flat exchange's
+        # lower fabric traffic wins back (see EXPERIMENTS.md)
+        cluster = Cluster(4)
+        pcm = ProgramCostModel(cluster)
+
+        def times(cap):
+            wl = MoEWorkload.build(cap, MODEL_DIM, FFN_DIM, cluster.num_ranks)
+            return (
+                pcm.time(wl.schedule_gshard()),
+                pcm.time(
+                    wl.schedule_hierarchical(cluster.node.gpus_per_node)
+                ),
+            )
+
+        flat_small, hier_small = times(64)
+        assert hier_small < flat_small
+        flat_big, hier_big = times(1024)
+        assert flat_big < hier_big
+
+    def test_json_emitted(self, moe_rows, moe_tune):
+        payload = write_json(moe_rows, moe_tune)
+        assert os.path.exists(JSON_PATH)
+        with open(JSON_PATH) as f:
+            loaded = json.load(f)
+        assert loaded == payload
+        assert "overlapped" in loaded["times_seconds"]["512"]
+
+    def test_report(self, moe_rows, moe_tune):
+        text = report(moe_rows, moe_tune)
+        assert "MoE expert MLP" in text
+
+
+def test_benchmark_moe(benchmark):
+    benchmark.pedantic(run_moe_sweep, rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    rows = run_moe_sweep()
+    result = tune_moe()
+    report(rows, result)
+    write_json(rows, result)
+    print(f"\nwrote {JSON_PATH}")
+    print(os.path.join(RESULTS_DIR, "moe.txt"))

@@ -36,6 +36,8 @@ from repro.core.ops import (
     GROUP,
     AllGather,
     AllReduce,
+    AllToAll,
+    AllToAllPhase,
     Binary,
     Broadcast,
     Cast,
@@ -74,7 +76,8 @@ __all__ = [
     # leaves
     "Expr", "Tensor", "Scalar", "Const", "reset_names",
     # ops
-    "AllReduce", "AllGather", "ReduceScatter", "Reduce", "Broadcast", "Send",
+    "AllReduce", "AllGather", "AllToAll", "AllToAllPhase",
+    "ReduceScatter", "Reduce", "Broadcast", "Send",
     "MatMul", "Conv2D", "Binary", "Unary", "Dropout", "Cast", "Slice",
     "Norm", "ReduceTensor", "Update", "Sqrt", "Rsqrt", "ReLU", "Tanh", "Pow",
     "CommOp", "ComputeOp", "PointwiseOp",

@@ -26,13 +26,17 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 from repro.cluster.topology import Cluster
 from repro.core import dfg, ops
 from repro.core.program import Program
+from repro.core.tensor import Expr
 from repro.core.transforms import (
+    A2ASplitHierarchical,
     AllReduceFuse,
+    AllToAllFuse,
     ARSplitRSAG,
     ComputationFuse,
     Schedule,
     SendFuse,
 )
+from repro.core.transforms.reorder import _check_alltoall_commutes
 from repro.core.transforms.plan import FusedBlock, KernelKind
 from repro.errors import AutotunerError, TransformError
 from repro.perf.program_cost import ProgramCostModel
@@ -102,6 +106,22 @@ class Autotuner:
         if kind == "split":
             ar = sched.program.find(move[1])
             sched.split(ar, ARSplitRSAG)
+        elif kind == "a2asplit":
+            a2a = sched.program.find(move[1])
+            sched.split(
+                a2a, A2ASplitHierarchical,
+                node_size=self.cluster.node.gpus_per_node,
+            )
+        elif kind == "a2areorder":
+            a2a = sched.program.find(move[1])
+            region = _alltoall_reorder_region(sched, a2a)
+            if not region:
+                raise TransformError("no commuting region for the AllToAll")
+            sched.reorder(a2a, *_as_items(sched, region))
+        elif kind == "a2afuse":
+            a2a = sched.program.find(move[1])
+            members = _alltoall_fusion_region(sched, a2a)
+            sched.fuse(*members, policy=AllToAllFuse)
         elif kind == "reorder":
             ag = sched.program.find(move[1])
             region = _maximal_reorder_region(sched, ag)
@@ -151,6 +171,31 @@ class Autotuner:
         for e in prog.operations:
             if isinstance(e, ops.AllReduce):
                 moves.append(("split", e.name))
+            if isinstance(e, ops.AllToAll):
+                if (
+                    self.cluster.spans_nodes()
+                    and e.group.size > self.cluster.node.gpus_per_node
+                    and ("a2asplit", e.name) not in done
+                    and sched._block_of(e) is None
+                ):
+                    moves.append(("a2asplit", e.name))
+                if (
+                    ("a2areorder", e.name) not in done
+                    and sched._block_of(e) is None
+                    and _alltoall_reorder_region(sched, e)
+                ):
+                    moves.append(("a2areorder", e.name))
+            if isinstance(e, (ops.AllToAll, ops.AllToAllPhase)):
+                # per-name dedup (unlike arfuse): an MoE program has two
+                # exchanges and both may deserve their own fused kernel
+                if ("a2afuse", e.name) not in done and sched._block_of(
+                    e
+                ) is None:
+                    try:
+                        _alltoall_fusion_region(sched, e)
+                        moves.append(("a2afuse", e.name))
+                    except TransformError:
+                        pass
             if isinstance(e, ops.AllGather) and ("reorder", e.name) not in done:
                 if _maximal_reorder_region(sched, e):
                     moves.append(("reorder", e.name))
@@ -331,10 +376,69 @@ def _collective_fusion_region(sched: Schedule, rs: ops.ReduceScatter) -> List:
     return _as_items(sched, members)
 
 
-def _send_fusion_region(sched: Schedule, send: ops.Send) -> List:
-    """Pointwise producers + the Send, for SendFuse."""
+def _alltoall_reorder_region(sched: Schedule, a2a: ops.AllToAll) -> List:
+    """Largest downstream region that commutes with the AllToAll.
+
+    Starts from every transitive consumer and shrinks to a fixpoint:
+    an op stays only while it is position-uniform (see the reorder
+    transformation) *and* every exchanged-data operand it reads is also
+    staying — dropping one op cascades to its consumers, but leaves
+    independent branches (a pointwise epilogue feeding a MatMul keeps
+    the pointwise part). Joins work regardless of visit order because
+    commute checks see the whole candidate set. Empty only if a direct
+    consumer of the exchange cannot move, since reorder requires all of
+    them in the region.
+    """
+    prog = sched.program
+    if a2a in prog.roots:
+        return []
+    users = dfg.users_map(prog.roots)
+    candidates: List = []
+    frontier = list(users.get(a2a, []))
+    seen = set()
+    while frontier:
+        e = frontier.pop()
+        if id(e) in seen:
+            continue
+        seen.add(id(e))
+        candidates.append(e)
+        frontier.extend(users.get(e, []))
+    cand_set = set(candidates)
+
+    rides_cache: Dict[int, bool] = {}
+
+    def rides_exchange(inp) -> bool:
+        if id(inp) not in rides_cache:
+            rides_cache[id(inp)] = inp is a2a or a2a in dfg.reachable([inp])
+        return rides_cache[id(inp)]
+
+    changed = True
+    while changed:
+        changed = False
+        for op in list(cand_set):
+            try:
+                _check_alltoall_commutes(op, a2a, cand_set)
+                ok = all(
+                    inp is a2a or inp in cand_set or not rides_exchange(inp)
+                    for inp in op.inputs
+                )
+            except TransformError:
+                ok = False
+            if not ok:
+                cand_set.discard(op)
+                changed = True
+    if any(u not in cand_set for u in users.get(a2a, [])):
+        return []
+    return [e for e in candidates if e in cand_set]
+
+
+def _pointwise_producer_region(
+    sched: Schedule, anchor: Expr, what: str
+) -> List:
+    """Pointwise producers feeding ``anchor``, plus the anchor itself —
+    the member set of SendFuse / AllToAllFuse."""
     members: List = []
-    frontier = list(send.inputs)
+    frontier = list(anchor.inputs)
     seen = set()
     while frontier:
         e = frontier.pop()
@@ -345,12 +449,31 @@ def _send_fusion_region(sched: Schedule, send: ops.Send) -> List:
             members.append(e)
             frontier.extend(e.inputs)
     if not members:
-        raise TransformError("no fusable computation feeds the Send")
-    return _as_items(sched, members) + [send]
+        raise TransformError(f"no fusable computation feeds the {what}")
+    return _as_items(sched, members) + [anchor]
+
+
+def _alltoall_fusion_region(sched: Schedule, a2a: Expr) -> List:
+    """Pointwise producers + the AllToAll, for AllToAllFuse."""
+    return _pointwise_producer_region(sched, a2a, "AllToAll")
+
+
+def _send_fusion_region(sched: Schedule, send: ops.Send) -> List:
+    """Pointwise producers + the Send, for SendFuse."""
+    return _pointwise_producer_region(sched, send, "Send")
 
 
 def _overlap_chain(sched: Schedule) -> List:
-    """Find a producer→consumer kernel chain worth overlapping."""
+    """Find the longest producer→consumer kernel chain worth overlapping.
+
+    Walks the plan's kernels in order, extending the current chain
+    whenever the next GEMM / communication / elementwise kernel directly
+    consumes the chain tail's output (the MoE pipeline
+    dispatch→GEMM→act→GEMM→combine is one such chain; the attention
+    MatMul→FusedAllReduce pair is another). A chain is only worth
+    overlapping when it spans at least one communication kernel —
+    compute-only kernels share the GPU stream and gain nothing.
+    """
     plan = sched.plan()
     comm_kinds = (
         KernelKind.COLLECTIVE,
@@ -358,24 +481,56 @@ def _overlap_chain(sched: Schedule) -> List:
         KernelKind.P2P,
         KernelKind.FUSED_P2P,
     )
-    items: List = []
+    chain_kinds = comm_kinds + (
+        KernelKind.GEMM,
+        KernelKind.ELEMENTWISE,
+        KernelKind.FUSED_ELEMENTWISE,
+    )
+
+    def item_of(k) -> object:
+        block = sched._block_of(k.exprs[-1])
+        return block if block is not None else k.exprs[0]
+
+    def consumes(k, prev_out) -> bool:
+        return any(prev_out in e.inputs for e in k.exprs)
+
+    elementwise = (KernelKind.ELEMENTWISE, KernelKind.FUSED_ELEMENTWISE)
+
+    def trimmed(kernels: List) -> List:
+        # A trailing elementwise stage has no communication to hide
+        # behind — it only adds chunk-synchronization overhead. Interior
+        # elementwise stages (the activation between the MoE GEMMs) stay.
+        out = list(kernels)
+        while out and out[-1].kind in elementwise:
+            out.pop()
+        return out
+
+    def score(kernels: List) -> "Tuple[int, int]":
+        return (
+            len(kernels),
+            sum(k.kind in comm_kinds for k in kernels),
+        )
+
+    best: List = []
+    cur: List = []
     for k in plan.kernels:
-        if k.kind is KernelKind.GEMM:
-            items = [k.exprs[0]]
-        elif k.kind in comm_kinds and items:
-            block = sched._block_of(k.exprs[-1])
-            items.append(block if block is not None else k.exprs[0])
-        elif k.kind in comm_kinds and not items:
-            block = sched._block_of(k.exprs[-1])
-            items.append(block if block is not None else k.exprs[0])
-    if len(items) < 2:
-        return []
-    # Validate the chain is producer-consumer; trim to the longest valid
-    # prefix chain.
-    chain: List = [items[0]]
-    for it in items[1:]:
-        chain.append(it)
-    return chain
+        if k.kind not in chain_kinds or (
+            len(k.exprs) == 1 and isinstance(k.exprs[0], ops.Slice)
+        ):
+            cur = []
+            continue
+        if cur and consumes(k, cur[-1].exprs[-1]):
+            cur = cur + [k]
+        else:
+            cur = [k]
+        cand = trimmed(cur)
+        if (
+            len(cand) >= 2
+            and any(x.kind in comm_kinds for x in cand)
+            and score(cand) > score(best)
+        ):
+            best = cand
+    return [item_of(k) for k in best]
 
 
 def _script_name(moves: Sequence[Move]) -> str:

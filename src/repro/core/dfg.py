@@ -89,6 +89,13 @@ def clone_with_inputs(
             wb = leaf_map.get(wb, wb)
         clone.writeback = wb
         return clone
+    if isinstance(expr, o.AllToAllPhase):
+        return o.AllToAllPhase(
+            new_inputs[0], expr.dim, expr.phase, expr.node_size,
+            name=expr.name,
+        )
+    if isinstance(expr, o.AllToAll):
+        return o.AllToAll(new_inputs[0], dim=expr.dim, name=expr.name)
     if isinstance(expr, o.Reduce):
         return o.Reduce(expr.reduction, new_inputs[0], root=expr.root, name=expr.name)
     if isinstance(expr, o.Broadcast):

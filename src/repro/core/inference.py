@@ -24,6 +24,7 @@ from repro.core.layout import (
     Local,
     Replicated,
     Sliced,
+    exchange_chunk_shape,
     normalize_dim,
 )
 from repro.core.tensor import Expr
@@ -159,6 +160,31 @@ def matmul_layout(a: Expr, b: Expr) -> Layout:
     if a.layout.is_local or b.layout.is_local:
         return Local
     return Replicated
+
+
+def alltoall_layout(x: Expr, dim: int) -> Tuple[Layout, int]:
+    """Layout rule of AllToAll: Local → Local, exchanging along ``dim``.
+
+    AllToAll permutes equal chunks *between* ranks, so its input must be
+    Local (per-rank distinct values; a replicated tensor would exchange
+    identical data, a sliced tensor already lives in slice form). The
+    exchanged dimension must divide evenly into ``group.size`` chunks.
+    Returns the output layout and the normalized dimension.
+    """
+    if not x.layout.is_local:
+        raise LayoutError(
+            f"AllToAll input must be local (per-rank values), got "
+            f"{x.signature()}"
+        )
+    dim = normalize_dim(dim, len(x.shape))
+    try:
+        exchange_chunk_shape(x.shape, dim, x.group.size)
+    except LayoutError:
+        raise ShapeError(
+            f"AllToAll dim {dim} of {x.signature()} is not divisible by "
+            f"group size {x.group.size}"
+        ) from None
+    return Local, dim
 
 
 def require_same_group(*exprs: Expr) -> None:

@@ -102,7 +102,25 @@ def slice_shape(
     shape = tuple(int(s) for s in global_shape)
     if not layout.is_sliced:
         return shape
-    dim = normalize_dim(layout.dim, len(shape))
+    # per-rank slice and per-peer exchange chunk share the same math
+    return exchange_chunk_shape(shape, layout.dim, group_size)
+
+
+def exchange_chunk_shape(
+    global_shape: Sequence[int], dim: int, group_size: int
+) -> Tuple[int, ...]:
+    """Shape of one AllToAll exchange chunk.
+
+    An AllToAll keeps the per-rank shape intact but moves ``group_size``
+    equal chunks along ``dim`` between ranks; this is the shape of each
+    chunk on the wire. Backs the AllToAll shape rule in
+    :func:`repro.core.inference.alltoall_layout`.
+
+    Raises:
+        LayoutError: if ``dim`` does not divide evenly.
+    """
+    shape = tuple(int(s) for s in global_shape)
+    dim = normalize_dim(dim, len(shape))
     if shape[dim] % group_size != 0:
         raise LayoutError(
             f"dimension {dim} of shape {shape} is not divisible by "

@@ -148,6 +148,83 @@ class Broadcast(CommOp):
         )
 
 
+class AllToAll(CommOp):
+    """Exchange chunk ``i`` of every rank's buffer with rank ``i``.
+
+    The collective behind Mixture-of-Experts dispatch/combine (GShard):
+    each rank splits its *local* buffer into ``group.size`` equal chunks
+    along ``dim``, sends chunk ``j`` to rank ``j``, and concatenates the
+    chunks it receives in source-rank order. Input and output are both
+    Local — same shape on every rank, different values — so an AllToAll
+    composed with itself along the same dimension is the identity
+    (dispatch followed by combine restores token ownership).
+    """
+
+    comm_kind = "alltoall"
+
+    def __init__(self, x: Expr, dim: int = 0, name: Optional[str] = None):
+        layout, self.dim = inference.alltoall_layout(x, dim)
+        super().__init__(
+            name or _fresh_name(f"a2a_{x.name}"),
+            x.dtype, x.shape, layout, x.group, (x,),
+        )
+
+
+class AllToAllPhase(CommOp):
+    """One phase of a hierarchical (intra-node / inter-node) AllToAll.
+
+    The split transformation decomposes a flat AllToAll over ``k * m``
+    ranks (``k`` nodes of ``m`` GPUs) into two phases:
+
+    * **intra** — ranks exchange within their node, regrouping chunks by
+      destination-local index; moves ``(m-1)/m`` of the buffer over the
+      NVSwitch fabric;
+    * **inter** — ranks exchange the regrouped blocks across nodes with
+      the peers sharing their local index; moves ``(k-1)/k`` of the
+      buffer over the NICs.
+
+    ``inter(intra(x))`` equals the flat ``AllToAll(x)`` exactly (see
+    :mod:`repro.runtime.collectives` and the equivalence tests), while
+    the cost model charges each phase only its own fabric.
+
+    A ``node_size`` larger than the group degenerates (with a clamp to
+    the group size) to a single-level decomposition: the intra phase is
+    the whole exchange and the inter phase a no-op. A non-positive
+    ``node_size`` is rejected.
+    """
+
+    def __init__(
+        self,
+        x: Expr,
+        dim: int,
+        phase: str,
+        node_size: int,
+        name: Optional[str] = None,
+    ):
+        if phase not in ("intra", "inter"):
+            raise ValueError(f"unknown AllToAll phase {phase!r}")
+        if int(node_size) < 1:
+            raise LayoutError(
+                f"hierarchical AllToAll node size must be >= 1, got "
+                f"{node_size}"
+            )
+        layout, self.dim = inference.alltoall_layout(x, dim)
+        n = x.group.size
+        m = min(int(node_size), n)
+        if n % m != 0:
+            raise LayoutError(
+                f"hierarchical AllToAll needs the group size {n} divisible "
+                f"by the node size {m}"
+            )
+        self.phase = phase
+        self.node_size = m
+        self.comm_kind = f"alltoall_{phase}"
+        super().__init__(
+            name or _fresh_name(f"a2a_{phase}_{x.name}"),
+            x.dtype, x.shape, layout, x.group, (x,),
+        )
+
+
 class _SymbolicGroup:
     """The GROUP placeholder; ``GROUP + 1`` addresses the next group."""
 
@@ -461,11 +538,16 @@ def Pow(a: "Expr | Number", b: "Expr | Number") -> Binary:
     return binary("pow", a, b)
 
 
-COMM_OP_TYPES = (AllReduce, ReduceScatter, AllGather, Reduce, Broadcast, Send)
+COMM_OP_TYPES = (
+    AllReduce, ReduceScatter, AllGather, Reduce, Broadcast, Send,
+    AllToAll, AllToAllPhase,
+)
 
 __all__ = [
     "AllReduce",
     "AllGather",
+    "AllToAll",
+    "AllToAllPhase",
     "ReduceScatter",
     "Reduce",
     "Broadcast",

@@ -133,6 +133,13 @@ def _render_op(e: Expr) -> str:
         return f'{type(e).__name__}("{e.reduction}", {args})'
     if isinstance(e, o.Send):
         return f"Send({args}, {e.dst!r})"
+    if isinstance(e, o.AllToAllPhase):
+        return (
+            f"AllToAll{e.phase.capitalize()}({args}, dim={e.dim}, "
+            f"node_size={e.node_size})"
+        )
+    if isinstance(e, o.AllToAll):
+        return f"AllToAll({args}, dim={e.dim})"
     if isinstance(e, o.Binary):
         return f"{_operand(e.inputs[0])} {e.op} {_operand(e.inputs[1])}"
     if isinstance(e, o.Unary):

@@ -33,9 +33,11 @@ from repro.core.transforms.schedule import Schedule
 # Paper-style policy aliases
 ARSplitRSAG = SplitPolicy.AR_SPLIT_RS_AG
 ARSplitReduceBroadcast = SplitPolicy.AR_SPLIT_REDUCE_BCAST
+A2ASplitHierarchical = SplitPolicy.A2A_SPLIT_HIERARCHICAL
 ComputationFuse = FusePolicy.COMPUTATION
 AllReduceFuse = FusePolicy.ALLREDUCE
 SendFuse = FusePolicy.SEND
+AllToAllFuse = FusePolicy.ALLTOALL
 
 __all__ = [
     "Schedule",
@@ -48,7 +50,9 @@ __all__ = [
     "FusePolicy",
     "ARSplitRSAG",
     "ARSplitReduceBroadcast",
+    "A2ASplitHierarchical",
     "ComputationFuse",
     "AllReduceFuse",
     "SendFuse",
+    "AllToAllFuse",
 ]

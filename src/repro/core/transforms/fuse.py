@@ -145,6 +145,25 @@ def _check_policy(members: Sequence[Expr], policy: FusePolicy) -> None:
                     f"({m.signature()})"
                 )
         return
+    if policy is FusePolicy.ALLTOALL:
+        a2as = [
+            m for m in comm
+            if isinstance(m, (ops.AllToAll, ops.AllToAllPhase))
+        ]
+        if len(a2as) != 1 or len(comm) != 1:
+            raise TransformError(
+                "AllToAllFuse requires exactly one AllToAll and no other "
+                "communication ops"
+            )
+        for m in members:
+            if isinstance(m, (ops.AllToAll, ops.AllToAllPhase)):
+                continue
+            if not isinstance(m, _FUSABLE_COMPUTE):
+                raise TransformError(
+                    f"AllToAllFuse cannot fuse {type(m).__name__} "
+                    f"({m.signature()})"
+                )
+        return
     if policy is FusePolicy.SEND:
         sends = [m for m in comm if isinstance(m, ops.Send)]
         if len(sends) != 1 or len(comm) != 1:

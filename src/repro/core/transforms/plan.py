@@ -25,6 +25,7 @@ class SplitPolicy(Enum):
 
     AR_SPLIT_RS_AG = "ARSplitRSAG"
     AR_SPLIT_REDUCE_BCAST = "ARSplitReduceBroadcast"
+    A2A_SPLIT_HIERARCHICAL = "A2ASplitHierarchical"
 
 
 class FusePolicy(Enum):
@@ -33,6 +34,7 @@ class FusePolicy(Enum):
     COMPUTATION = "ComputationFuse"
     ALLREDUCE = "AllReduceFuse"
     SEND = "SendFuse"
+    ALLTOALL = "AllToAllFuse"
 
 
 class KernelKind(Enum):
@@ -74,7 +76,7 @@ class FusedBlock:
     def kernel_kind(self) -> KernelKind:
         if self.policy is FusePolicy.COMPUTATION:
             return KernelKind.FUSED_ELEMENTWISE
-        if self.policy is FusePolicy.ALLREDUCE:
+        if self.policy in (FusePolicy.ALLREDUCE, FusePolicy.ALLTOALL):
             return KernelKind.FUSED_COLLECTIVE
         return KernelKind.FUSED_P2P
 

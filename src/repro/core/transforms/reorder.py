@@ -153,6 +153,146 @@ def apply_broadcast_reorder(
     return new_region, broadcasts
 
 
+def _check_alltoall_commutes(
+    op: Expr, a2a: ops.AllToAll, region_set: "set[Expr]"
+) -> None:
+    """Reject region ops that do not commute with the chunk exchange.
+
+    An AllToAll permutes equal chunks between ranks, so an operation
+    moved from after it to before it must be *position-uniform*: the
+    same function applied at every (rank, chunk) position. Unary and
+    Cast always qualify; a Binary qualifies when its partner operand is
+    a constant, a scalar, or a replicated tensor whose broadcasting
+    stays out of the exchanged dimension (a per-position operand would
+    end up paired with the wrong chunk). Dropout is rejected — its mask
+    is keyed on the global element index, which the exchange permutes —
+    and so are reductions, whose per-rank value changes with ownership.
+    The op must also preserve the AllToAll's shape: a broadcast that
+    grows the output rank would shift the exchanged axis, so the
+    reconstructed AllToAll would exchange the wrong dimension.
+    """
+    if op.shape != a2a.shape:
+        raise TransformError(
+            f"{op.name}: output shape {op.shape} differs from the "
+            f"AllToAll's {a2a.shape}; the exchange cannot move past a "
+            f"shape-changing operation"
+        )
+    if isinstance(op, (ops.Unary, ops.Cast)):
+        return
+    if isinstance(op, ops.Binary):
+        out_rank = len(op.shape)
+        for inp in op.inputs:
+            if inp is a2a or inp in region_set:
+                continue  # the data path being exchanged
+            if not inp.shape and inp.layout.is_replicated:
+                continue  # Const / Scalar: same value on every rank
+            if inp.layout.is_replicated and not inference.covers_dim(
+                inp.shape, out_rank, a2a.dim
+            ):
+                continue
+            # everything else — including 0-d Local values like the Norm
+            # of a per-rank tensor — differs by rank or position, so the
+            # moved op would pair chunks with the wrong rank's value
+            raise TransformError(
+                f"{op.name}: operand {inp.signature()} is positioned or "
+                f"per-rank data relative to {a2a.name}; it cannot move "
+                f"across the exchange"
+            )
+        return
+    raise TransformError(
+        f"{type(op).__name__} ({op.signature()}) does not commute with "
+        f"an AllToAll"
+    )
+
+
+def apply_alltoall_reorder(
+    sched: "Schedule", a2a: ops.AllToAll, region: Sequence[Expr]
+) -> Tuple[List[Expr], List[ops.AllToAll]]:
+    """Reorder an AllToAll past position-uniform pointwise computations.
+
+    ``f(AllToAll(x))`` becomes ``AllToAll(f(x))``: the computations move
+    *before* the exchange (where they can fuse with producers or with
+    the exchange kernel itself), and a new AllToAll is performed on each
+    of the region's live-out values. Valid because an AllToAll is a
+    permutation of equal chunks and the region ops are required to be
+    position-uniform (see :func:`_check_alltoall_commutes`).
+    """
+    a2a = sched.resolve(a2a)
+    block = sched._block_of(a2a)
+    if block is not None:
+        raise TransformError(
+            f"cannot reorder: {a2a.name} is fused into {block.name}; "
+            f"unfuse the block first"
+        )
+    region = [sched.resolve(e) for e in region]
+    prog = sched.program
+    position = {e: i for i, e in enumerate(prog.operations)}
+    for e in region:
+        if e not in position:
+            raise TransformError(
+                f"{e.signature()} is not an operation of the current program"
+            )
+    region = sorted(set(region), key=position.__getitem__)
+    region_set = set(region)
+
+    users = dfg.users_map(prog.roots)
+    for u in users.get(a2a, []):
+        if u not in region_set:
+            raise TransformError(
+                f"cannot reorder: {u.signature()} consumes {a2a.name} but "
+                f"is not part of the reordered region"
+            )
+    if a2a in prog.roots:
+        raise TransformError(
+            f"cannot reorder: {a2a.name} is a program output; include its "
+            f"consumers in the region"
+        )
+    # Every region op must (transitively, within the region) consume the
+    # exchange: an unrelated op would get wrapped in a spurious AllToAll
+    # that permutes its values across ranks.
+    consuming: set = set()
+    for op in region:
+        if any(i is a2a or i in consuming for i in op.inputs):
+            consuming.add(op)
+    for op in region:
+        if op not in consuming:
+            raise TransformError(
+                f"cannot reorder: {op.signature()} does not consume "
+                f"{a2a.name}; remove it from the region"
+            )
+    for op in region:
+        _check_alltoall_commutes(op, a2a, region_set)
+
+    x = a2a.inputs[0]
+    live_outs = dfg.region_live_outs(region, prog.roots)
+    mapping: Dict[Expr, Expr] = {a2a: x}
+    new_region: List[Expr] = []
+    for op in region:
+        new_inputs = tuple(mapping.get(i, i) for i in op.inputs)
+        clone = dfg.clone_with_inputs(op, new_inputs)
+        mapping[op] = clone
+        new_region.append(clone)
+
+    exchanges: List[ops.AllToAll] = []
+    out_mapping: Dict[Expr, Expr] = {}
+    for lo in live_outs:
+        ex = ops.AllToAll(mapping[lo], dim=a2a.dim, name=f"a2a_{lo.name}")
+        exchanges.append(ex)
+        out_mapping[lo] = ex
+
+    sched._apply_rewrite(
+        {**mapping, **out_mapping},
+        fwd_overrides={op: mapping[op] for op in region},
+    )
+    new_region = [sched.resolve(e) for e in new_region]
+    exchanges = [sched.resolve(e) for e in exchanges]
+    sched._record(
+        f"reorder({a2a.name} | {', '.join(o.name for o in region)}) -> "
+        f"({', '.join(o.name for o in new_region + exchanges)})"
+    )
+    return new_region, exchanges
+
+
 def apply_reorder(
     sched: "Schedule", ag: Expr, region: Sequence[Expr]
 ) -> Tuple[List[Expr], List[ops.AllGather]]:
@@ -164,6 +304,8 @@ def apply_reorder(
     ag = sched.resolve(ag)
     if isinstance(ag, ops.Broadcast):
         return apply_broadcast_reorder(sched, ag, region)
+    if isinstance(ag, ops.AllToAll):
+        return apply_alltoall_reorder(sched, ag, region)
     if not isinstance(ag, ops.AllGather):
         raise TransformError(
             f"reorder expects an AllGather, got {type(ag).__name__}"

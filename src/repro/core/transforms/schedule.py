@@ -129,9 +129,11 @@ class Schedule:
         ar: Expr,
         policy: SplitPolicy = SplitPolicy.AR_SPLIT_RS_AG,
         dim: "int | None" = None,
+        node_size: "int | None" = None,
     ) -> Tuple[Expr, Expr]:
-        """AllReduce → (ReduceScatter, AllGather) [or Reduce+Broadcast]."""
-        return _split.apply_split(self, ar, policy, dim)
+        """AllReduce → (ReduceScatter, AllGather) [or Reduce+Broadcast];
+        AllToAll → (intra-node, inter-node) hierarchical phases."""
+        return _split.apply_split(self, ar, policy, dim, node_size)
 
     def reorder(self, ag: Expr, *region: Item) -> Tuple[Expr, ...]:
         """Move an AllGather past computations; returns sliced clones + gathers.

@@ -9,6 +9,14 @@ always valid."
 
 A second, classic equivalence is provided as ``ARSplitReduceBroadcast``:
 AllReduce → Reduce-to-root + Broadcast.
+
+For AllToAll the ``A2ASplitHierarchical`` policy applies the standard
+two-level decomposition: a flat AllToAll over ``k`` nodes of ``m`` GPUs
+becomes an intra-node exchange (regrouping chunks by destination-local
+index, on the NVSwitch fabric) followed by an inter-node exchange among
+the ranks sharing a local index — ``k-1`` large messages per NIC instead
+of ``(k-1)*m`` small ones. The composition is exactly equivalent (see
+:mod:`repro.runtime.collectives`), so the split is always valid.
 """
 
 from __future__ import annotations
@@ -45,13 +53,21 @@ def apply_split(
     ar: Expr,
     policy: SplitPolicy = SplitPolicy.AR_SPLIT_RS_AG,
     dim: "int | None" = None,
+    node_size: "int | None" = None,
 ) -> Tuple[Expr, Expr]:
-    """Split an AllReduce; returns the two replacement operations."""
+    """Split a collective; returns the two replacement operations."""
     ar = sched.resolve(ar)
+    if isinstance(ar, ops.AllToAll):
+        return _apply_alltoall_split(sched, ar, policy, node_size)
+    if policy is SplitPolicy.A2A_SPLIT_HIERARCHICAL:
+        raise TransformError(
+            f"A2ASplitHierarchical expects an AllToAll, got "
+            f"{type(ar).__name__} ({ar.signature()})"
+        )
     if not isinstance(ar, ops.AllReduce):
         raise TransformError(
-            f"split expects an AllReduce, got {type(ar).__name__} "
-            f"({ar.signature()})"
+            f"split expects an AllReduce or AllToAll, got "
+            f"{type(ar).__name__} ({ar.signature()})"
         )
     x = ar.inputs[0]
     if policy is SplitPolicy.AR_SPLIT_RS_AG:
@@ -75,3 +91,50 @@ def apply_split(
         )
         return sched.resolve(red), sched.resolve(bc)
     raise TransformError(f"unknown split policy {policy!r}")
+
+
+#: Node size assumed when the caller does not pass one: the paper's
+#: DGX-2 testbed (16 GPUs per node). The autotuner passes the actual
+#: cluster's ``gpus_per_node``.
+DEFAULT_NODE_SIZE = 16
+
+
+def _apply_alltoall_split(
+    sched: "Schedule",
+    a2a: ops.AllToAll,
+    policy: SplitPolicy,
+    node_size: "int | None",
+) -> Tuple[Expr, Expr]:
+    """AllToAll → intra-node exchange + inter-node exchange."""
+    if policy is not SplitPolicy.A2A_SPLIT_HIERARCHICAL:
+        raise TransformError(
+            f"an AllToAll splits only with A2ASplitHierarchical, "
+            f"got {policy.value}"
+        )
+    block = sched._block_of(a2a)
+    if block is not None:
+        # Splitting a fused exchange would leave the block holding only
+        # the inter phase, with the intra phase stranded outside it —
+        # an unexecutable kernel plan.
+        raise TransformError(
+            f"cannot split: {a2a.name} is fused into {block.name}; "
+            f"unfuse the block first"
+        )
+    x = a2a.inputs[0]
+    m = DEFAULT_NODE_SIZE if node_size is None else int(node_size)
+    try:
+        intra = ops.AllToAllPhase(
+            x, a2a.dim, "intra", m, name=f"intra_{a2a.name}"
+        )
+        inter = ops.AllToAllPhase(
+            intra, a2a.dim, "inter", intra.node_size,
+            name=f"inter_{a2a.name}",
+        )
+    except LayoutError as err:
+        raise TransformError(str(err)) from err
+    sched._apply_rewrite({a2a: inter})
+    sched._record(
+        f"split({a2a.name}, A2ASplitHierarchical) -> "
+        f"({intra.name}, {inter.name})"
+    )
+    return sched.resolve(intra), sched.resolve(inter)

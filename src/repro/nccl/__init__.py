@@ -18,9 +18,18 @@ from repro.nccl.protocol import LL, LL128, SIMPLE, ALL_PROTOCOLS, Protocol
 from repro.nccl.ring import Ring, build_ring
 from repro.nccl.chunking import ChunkSchedule, chunk_order, tile_chunks
 from repro.nccl.config import CollectiveConfig, choose_config
-from repro.nccl.cost_model import Algorithm, collective_time, p2p_time
+from repro.nccl.cost_model import (
+    Algorithm,
+    collective_time,
+    hierarchical_alltoall_time,
+    p2p_time,
+)
+from repro.nccl.algorithms import all_to_all_steps, simulate_alltoall
 
 __all__ = [
+    "all_to_all_steps",
+    "simulate_alltoall",
+    "hierarchical_alltoall_time",
     "Protocol",
     "LL",
     "LL128",

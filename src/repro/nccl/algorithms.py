@@ -59,13 +59,34 @@ def all_reduce_steps(n: int) -> List[Step]:
     return rs + ag
 
 
+def all_to_all_steps(n: int) -> List[Step]:
+    """The ``n*(n-1)`` sends of a pairwise-exchange AllToAll.
+
+    In step t (0-based), rank r sends its chunk destined to peer
+    ``(r + t + 1) mod n`` directly to that peer — the classic pairwise
+    schedule (ring-ordered peers, so on a ring topology each step is a
+    uniform shift). Each rank sends exactly one chunk per step; after
+    ``n-1`` steps every chunk has reached its destination and the rank's
+    own chunk never leaves it. ``chunk`` names the chunk index within the
+    *sender's* buffer, which equals the destination's ring index.
+    """
+    steps: List[Step] = []
+    for t in range(n - 1):
+        for r in range(n):
+            peer = (r + t + 1) % n
+            steps.append(Step(t, r, peer, peer))
+    return steps
+
+
 def num_steps(kind: str, n: int) -> int:
     """Sequential step count of a ring collective on ``n`` ranks."""
     if n <= 1:
         return 0
     if kind == "allreduce":
         return 2 * (n - 1)
-    if kind in ("reducescatter", "allgather", "broadcast", "reduce"):
+    if kind in (
+        "reducescatter", "allgather", "broadcast", "reduce", "alltoall"
+    ):
         return n - 1
     raise ValueError(f"unknown collective {kind!r}")
 
@@ -98,6 +119,42 @@ def simulate_ring_allreduce(values: Sequence[np.ndarray]) -> List[np.ndarray]:
             chunks[dst][(r + 1 - t) % n] = data
     return [
         np.concatenate([c for c in chunks[r]]).astype(values[r].dtype)
+        for r in range(n)
+    ]
+
+
+def simulate_alltoall(
+    values: Sequence[np.ndarray], dim: int = 0
+) -> List[np.ndarray]:
+    """Execute the pairwise AllToAll step by step on numpy arrays.
+
+    Replays exactly the sends of :func:`all_to_all_steps`; used by tests
+    to prove the step schedule computes the same result as the reference
+    :func:`repro.runtime.collectives.alltoall`.
+    """
+    n = len(values)
+    if n == 1:
+        return [values[0].copy()]
+    extent = values[0].shape[dim]
+    if extent % n != 0:
+        raise ValueError(
+            f"dim {dim} extent {extent} not divisible by {n} ranks"
+        )
+    step_size = extent // n
+
+    def chunk(r: int, c: int) -> np.ndarray:
+        idx = [slice(None)] * values[r].ndim
+        idx[dim] = slice(c * step_size, (c + 1) * step_size)
+        return values[r][tuple(idx)]
+
+    # received[r][j] = the chunk rank r got from source j.
+    received: List[Dict[int, np.ndarray]] = [dict() for _ in range(n)]
+    for r in range(n):
+        received[r][r] = chunk(r, r).copy()  # own chunk never moves
+    for s in all_to_all_steps(n):
+        received[s.dst][s.src] = chunk(s.src, s.chunk).copy()
+    return [
+        np.concatenate([received[r][j] for j in range(n)], axis=dim)
         for r in range(n)
     ]
 

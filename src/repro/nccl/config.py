@@ -62,6 +62,7 @@ def choose_config(
     group: ProcessGroup,
     protocols: Sequence[Protocol] = ALL_PROTOCOLS,
     channels: Sequence[int] = CHANNEL_CHOICES,
+    node_size: "int | None" = None,
 ) -> Tuple[CollectiveConfig, float]:
     """Best (config, time) for one collective call, NCCL-style."""
     ring = build_ring(cluster, group)
@@ -70,7 +71,7 @@ def choose_config(
     for cfg in candidate_configs(kind, protocols, channels):
         t = collective_time(
             kind, nbytes, cluster, ring, cfg.protocol, cfg.channels,
-            cfg.algorithm,
+            cfg.algorithm, node_size=node_size,
         )
         if t < best_time:
             best, best_time = cfg, t

@@ -82,6 +82,9 @@ def _wire_bytes(kind: str, nbytes: int, n: int) -> float:
         return float(n - 1) / n * nbytes
     if kind in ("broadcast", "reduce"):
         return float(nbytes)
+    # AllToAll kinds never reach here: collective_time dispatches them
+    # to flat_alltoall_time / hierarchical_alltoall_time, which own the
+    # (n-1)/n pairwise traffic accounting.
     raise CoCoNetError(f"unknown collective {kind!r}")
 
 
@@ -102,6 +105,164 @@ def _tree_latency(
     return passes * one_way
 
 
+def _ring_node_grid(cluster: Cluster, ring: Ring) -> "tuple[int, int]":
+    """(nodes spanned k, ranks per node m) of the ranks on a ring.
+
+    Derived from the ring's actual rank placement, so an offset group
+    (ranks 8..23 on 16-GPU nodes spans two nodes) or a non-divisible
+    group size still accounts for its NIC traffic.
+    """
+    counts: "dict[int, int]" = {}
+    for r in ring.order:
+        node = cluster.node_of(r)
+        counts[node] = counts.get(node, 0) + 1
+    k = max(1, len(counts))
+    m = max(counts.values()) if counts else 1  # most co-resident ranks
+    return k, m
+
+
+def _blocks_node_aligned(cluster: Cluster, ring: Ring, m: int) -> bool:
+    """Whether each logical block of ``m`` consecutive ranks sits on one
+    physical node — the premise of the intra phase's fabric pricing."""
+    order = ring.order
+    for start in range(0, len(order), m):
+        block = order[start : start + m]
+        if len({cluster.node_of(r) for r in block}) > 1:
+            return False
+    return True
+
+
+def _inter_peers_node_local(cluster: Cluster, ring: Ring, m: int) -> bool:
+    """Whether every inter-phase peer set (ranks ``m`` apart) sits on one
+    physical node — then the "inter" exchange also rides the fabric
+    (e.g. a logical ``node_size`` smaller than the physical node)."""
+    order = ring.order
+    for q in range(min(m, len(order))):
+        peers = order[q::m]
+        if len({cluster.node_of(r) for r in peers}) > 1:
+            return False
+    return True
+
+
+def hierarchical_alltoall_time(
+    kind: str,
+    nbytes: int,
+    cluster: Cluster,
+    ring: Ring,
+    protocol: Protocol,
+    channels: int,
+    include_setup: bool = True,
+    node_size: "int | None" = None,
+) -> float:
+    """Alpha-beta time of one phase of the hierarchical AllToAll.
+
+    With ``n = k * m`` ranks decomposed as ``k`` groups of ``m``
+    (``node_size`` — the decomposition the AllToAllPhase op was built
+    with; defaults to the cluster's physical node size):
+
+    * the **intra** phase exchanges ``(m-1)/m`` of the buffer in ``m-1``
+      pairwise steps entirely on the NVSwitch fabric;
+    * the **inter** phase exchanges ``(k-1)/k`` of the buffer in ``k-1``
+      steps over the NICs, which the concurrently-sending GPUs of a
+      node share.
+
+    This is what makes the A2A split profitable across nodes: the flat
+    AllToAll pays an inter-node hop latency per remote *rank*, the
+    hierarchical pair pays one per remote *node*.
+    """
+    node = cluster.node
+    n = ring.size
+    m = min(n, node.gpus_per_node if node_size is None else int(node_size))
+    k = max(1, n // m)
+    setup = CALL_SETUP_OVERHEAD if include_setup else 0.0
+    eff = protocol.bw_efficiency * IMPLEMENTATION_EFFICIENCY
+    if kind == "alltoall_intra":
+        if m <= 1 or nbytes <= 0:
+            return setup
+        if _blocks_node_aligned(cluster, ring, m):
+            bw = min(
+                node.gpu_fabric_bandwidth, channels * PER_CHANNEL_BANDWIDTH
+            ) * eff
+            hop = protocol.hop_latency_intra
+        else:
+            # The logical blocks straddle physical node boundaries, so
+            # the "intra" exchange actually crosses the network: price
+            # it like NIC traffic rather than handing the hierarchical
+            # split a fabric-bandwidth discount it cannot realize. All
+            # physically co-resident ranks send concurrently, whatever
+            # the logical decomposition.
+            _, senders = _ring_node_grid(cluster, ring)
+            bw = min(
+                node.node_network_bandwidth / senders,
+                channels * PER_CHANNEL_BANDWIDTH,
+            ) * eff
+            hop = protocol.hop_latency_inter
+        lat = (m - 1) * hop
+        return lat + (float(m - 1) / m) * nbytes / bw + setup
+    if kind == "alltoall_inter":
+        if k <= 1 or nbytes <= 0:
+            return setup  # single logical node: the inter phase is a no-op
+        if _inter_peers_node_local(cluster, ring, m):
+            # A logical decomposition finer than the physical node:
+            # the "inter" peers still share a node, so this phase rides
+            # the NVSwitch fabric too.
+            bw = min(
+                node.gpu_fabric_bandwidth, channels * PER_CHANNEL_BANDWIDTH
+            ) * eff
+            hop = protocol.hop_latency_intra
+        else:
+            # The node's NICs are shared by all physically co-resident
+            # ranks — every logical group runs its inter phase
+            # concurrently, so a logical decomposition finer than the
+            # node does not widen anyone's NIC share.
+            _, senders = _ring_node_grid(cluster, ring)
+            per_gpu_nic = node.node_network_bandwidth / senders
+            bw = min(per_gpu_nic, channels * PER_CHANNEL_BANDWIDTH) * eff
+            hop = protocol.hop_latency_inter
+        lat = (k - 1) * hop
+        return lat + (float(k - 1) / k) * nbytes / bw + setup
+    raise CoCoNetError(f"unknown hierarchical AllToAll phase {kind!r}")
+
+
+def flat_alltoall_time(
+    nbytes: int,
+    cluster: Cluster,
+    ring: Ring,
+    protocol: Protocol,
+    channels: int,
+    include_setup: bool = True,
+) -> float:
+    """Alpha-beta time of the flat pairwise AllToAll.
+
+    Unlike ring collectives — where only one edge per node crosses the
+    network and the NIC aggregate bounds the whole pipeline — a pairwise
+    AllToAll has *every* GPU of a node sending concurrently in each
+    inter-node step, so each rank gets ``1/m`` of the node's NIC
+    capacity. Of the ``n-1`` steps, ``m-1`` stay on the NVSwitch fabric
+    and ``(k-1)*m`` cross nodes; the per-step latencies add up
+    accordingly, which is exactly what the hierarchical split removes
+    (``k-1`` inter-node messages instead of ``(k-1)*m``).
+    """
+    node = cluster.node
+    n = ring.size
+    if n <= 1 or nbytes <= 0:
+        return CALL_SETUP_OVERHEAD if include_setup else 0.0
+    k, m = _ring_node_grid(cluster, ring)
+    setup = CALL_SETUP_OVERHEAD if include_setup else 0.0
+    eff = protocol.bw_efficiency * IMPLEMENTATION_EFFICIENCY
+    fabric_bw = min(
+        node.gpu_fabric_bandwidth, channels * PER_CHANNEL_BANDWIDTH
+    ) * eff
+    lat = (m - 1) * protocol.hop_latency_intra
+    bw_time = (float(m - 1) / n) * nbytes / fabric_bw
+    if k > 1:
+        per_gpu_nic = node.node_network_bandwidth / m
+        nic_bw = min(per_gpu_nic, channels * PER_CHANNEL_BANDWIDTH) * eff
+        lat += (k - 1) * m * protocol.hop_latency_inter
+        bw_time += (float(k - 1) / k) * nbytes / nic_bw
+    return lat + bw_time + setup
+
+
 def collective_time(
     kind: str,
     nbytes: int,
@@ -111,8 +272,22 @@ def collective_time(
     channels: int,
     algorithm: Algorithm = Algorithm.RING,
     include_setup: bool = True,
+    node_size: "int | None" = None,
 ) -> float:
-    """Time of one collective call (excluding the kernel launch itself)."""
+    """Time of one collective call (excluding the kernel launch itself).
+
+    ``node_size`` only affects the hierarchical AllToAll phases: it is
+    the decomposition the AllToAllPhase op was built with.
+    """
+    if kind in ("alltoall_intra", "alltoall_inter"):
+        return hierarchical_alltoall_time(
+            kind, nbytes, cluster, ring, protocol, channels, include_setup,
+            node_size,
+        )
+    if kind == "alltoall":
+        return flat_alltoall_time(
+            nbytes, cluster, ring, protocol, channels, include_setup
+        )
     n = ring.size
     if n <= 1 or nbytes <= 0:
         return CALL_SETUP_OVERHEAD if include_setup else 0.0

@@ -189,6 +189,28 @@ class ProgramCostModel:
                 written += e.per_rank_bytes()
         return read + written
 
+    def _extra_operand_traffic(
+        self, comp_ops: Sequence[Expr], anchor: Expr
+    ) -> float:
+        """HBM bytes a fused exchange adds beyond its own data path.
+
+        The exchange streams one buffer in and one out; the largest
+        external operand rides that stream, every other distinct
+        external operand is an extra read.
+        """
+        path = set(comp_ops) | {anchor, anchor.inputs[0]}
+        seen: set = set()
+        external: List[int] = []
+        for e in comp_ops:
+            for i in e.inputs:
+                if i in path or isinstance(i, Const) or id(i) in seen:
+                    continue
+                seen.add(id(i))
+                external.append(i.per_rank_bytes())
+        if not external:
+            return 0.0
+        return float(sum(external) - max(external))
+
     def _cross_rank_reduction_cost(self, exprs: Sequence[Expr]) -> float:
         """Extra AllReduce latency for Norm/ReduceTensor on sliced data."""
         extra = 0.0
@@ -223,11 +245,13 @@ class ProgramCostModel:
             comm.inputs[0].per_rank_bytes(), comm.per_rank_bytes()
         )
         group = comm.group
+        node_size = getattr(comm, "node_size", None)
         if group.size <= 1:
             return 0.0, 0.0
         cfg, t = choose_config(
             kind, nbytes, self.cluster, group,
             protocols=self.protocols, channels=self.channels,
+            node_size=node_size,
         )
         if ring_only and cfg.algorithm is not Algorithm.RING:
             ring = build_ring(self.cluster, group)
@@ -236,7 +260,7 @@ class ProgramCostModel:
                 for c in self.channels:
                     cand = collective_time(
                         kind, nbytes, self.cluster, ring, p, c,
-                        Algorithm.RING,
+                        Algorithm.RING, node_size=node_size,
                     )
                     best = min(best, cand)
             t = best
@@ -246,7 +270,7 @@ class ProgramCostModel:
         lat = min(
             collective_time(
                 kind, 1, self.cluster, ring, p, c, Algorithm.RING,
-                include_setup=True,
+                include_setup=True, node_size=node_size,
             )
             for p in self.protocols
             for c in self.channels
@@ -273,16 +297,27 @@ class ProgramCostModel:
             anchor.inputs[0].per_rank_bytes(), anchor.per_rank_bytes()
         )
         group = anchor.group
+        node_size = getattr(anchor, "node_size", None)
         ring = build_ring(self.cluster, group)
         best = float("inf")
         for p in self.protocols:
             for c in self.channels:
                 t = collective_time(
-                    kind, nbytes, self.cluster, ring, p, c, Algorithm.RING
+                    kind, nbytes, self.cluster, ring, p, c, Algorithm.RING,
+                    node_size=node_size,
                 )
                 best = min(best, t)
         comm_time = best
-        traffic = self._compute_traffic(comp_ops) if comp_ops else 0.0
+        if kind.startswith("alltoall"):
+            # A fused AllToAll applies the pointwise ops to each chunk
+            # as the exchange stages it — "directly passing the output
+            # of communication to following computations through
+            # registers" (§2.3) — so the comm stream's own loads/stores
+            # already cover the data path; only *extra* operands (a
+            # bias tensor, say) add HBM traffic.
+            traffic = self._extra_operand_traffic(comp_ops, anchor)
+        else:
+            traffic = self._compute_traffic(comp_ops) if comp_ops else 0.0
         compute_time = kernel_cost.pointwise_time(
             traffic, self.gpu, self.fused_compute_params,
             include_launch=False,
@@ -293,7 +328,7 @@ class ProgramCostModel:
         lat = min(
             collective_time(
                 kind, 1, self.cluster, ring, p, c, Algorithm.RING,
-                include_setup=True,
+                include_setup=True, node_size=node_size,
             )
             for p in self.protocols
             for c in self.channels

@@ -56,6 +56,90 @@ def allgather(values: RankValues, group: ProcessGroup, dim: int) -> RankValues:
     return {r: full.copy() for r in group}
 
 
+def alltoall(values: RankValues, group: ProcessGroup, dim: int) -> RankValues:
+    """Rank ``i`` receives chunk ``i`` of every rank, in source order.
+
+    Each rank's buffer is split into ``group.size`` equal chunks along
+    ``dim``; chunk ``j`` travels to the rank with local index ``j``, and
+    the receiver concatenates incoming chunks in source-rank order —
+    GShard's MoE dispatch/combine exchange.
+    """
+    n = group.size
+    out: RankValues = {}
+    for i, r in enumerate(group):
+        out[r] = np.concatenate(
+            [slice_of(values[s], dim, i, n) for s in group], axis=dim
+        )
+    return out
+
+
+def _node_grid(group: ProcessGroup, node_size: int) -> "tuple[int, int]":
+    """(nodes k, gpus-per-node m) of a group under a node size."""
+    n = group.size
+    m = min(max(1, int(node_size)), n)
+    if n % m != 0:
+        raise ValueError(
+            f"group size {n} is not divisible by node size {m}"
+        )
+    return n // m, m
+
+
+def alltoall_intra(
+    values: RankValues, group: ProcessGroup, dim: int, node_size: int
+) -> RankValues:
+    """Intra-node phase of the hierarchical AllToAll.
+
+    Rank ``(a, q)`` (node ``a``, local index ``q``) collects, from every
+    rank ``(a, p)`` of its node, the chunks destined for the ranks that
+    share local index ``q``, regrouped by destination node: output chunk
+    ``b*m + p`` holds source ``(a, p)``'s chunk for rank ``(b, q)``.
+    Composing :func:`alltoall_inter` after this phase reproduces the flat
+    :func:`alltoall` exactly.
+    """
+    n = group.size
+    k, m = _node_grid(group, node_size)
+    out: RankValues = {}
+    for a in range(k):
+        for q in range(m):
+            r = group.global_rank(a * m + q)
+            parts = [
+                slice_of(
+                    values[group.global_rank(a * m + p)], dim, b * m + q, n
+                )
+                for b in range(k)
+                for p in range(m)
+            ]
+            out[r] = np.concatenate(parts, axis=dim)
+    return out
+
+
+def alltoall_inter(
+    values: RankValues, group: ProcessGroup, dim: int, node_size: int
+) -> RankValues:
+    """Inter-node phase of the hierarchical AllToAll.
+
+    Applied to the intra-phase output: rank ``(b, q)`` receives block
+    ``b`` (the ``m`` chunks regrouped for it) from the rank with local
+    index ``q`` on every node ``a``, concatenated in node order — which
+    restores exact source-rank order.
+    """
+    n = group.size
+    k, m = _node_grid(group, node_size)
+    out: RankValues = {}
+    for b in range(k):
+        for q in range(m):
+            r = group.global_rank(b * m + q)
+            parts = [
+                slice_of(
+                    values[group.global_rank(a * m + q)], dim, b * m + p, n
+                )
+                for a in range(k)
+                for p in range(m)
+            ]
+            out[r] = np.concatenate(parts, axis=dim)
+    return out
+
+
 def reduce(
     values: RankValues, group: ProcessGroup, op: str, root: int, dtype: np.dtype
 ) -> RankValues:

@@ -142,6 +142,15 @@ class Executor:
                         wb.dtype.to_numpy()
                     )
             return gathered
+        if isinstance(e, o.AllToAllPhase):
+            fn = (
+                collectives.alltoall_intra
+                if e.phase == "intra"
+                else collectives.alltoall_inter
+            )
+            return fn(values[e.inputs[0]], e.group, e.dim, e.node_size)
+        if isinstance(e, o.AllToAll):
+            return collectives.alltoall(values[e.inputs[0]], e.group, e.dim)
         if isinstance(e, o.Reduce):
             return collectives.reduce(
                 values[e.inputs[0]], e.group, e.reduction, e.root,

@@ -7,14 +7,28 @@
   and MLP epilogues of Figure 3 / Section 6.2;
 * :mod:`repro.workloads.pipeline` — the pipeline-parallel transformer
   operations of Figure 8 / Section 6.3;
+* :mod:`repro.workloads.moe` — the GShard-style Mixture-of-Experts
+  expert MLP (dispatch-AllToAll → expert GEMMs → combine-AllToAll) with
+  the GShard-Eq / fused / overlapped schedule family;
 * :mod:`repro.workloads.models` — BERT/GPT-2/GPT-3 configurations with
   the memory accounting behind Tables 4 and 5.
+
+Workload → schedule families:
+
+==========  ==============================================================
+adam/lamb   AR-Opt, GShard-Eq (RS-Opt-AG), fuse(RS-Opt-AG)
+attention   MegatronLM, MM-AR-C, GShard-Eq, ol(MM, fuse(RS-C-AG))
+pipeline    MegatronLM, AR-C-P2P-AG, GShard-Eq, ol(RS, fuse(C-P2P), AG)
+moe         GShard-Eq, fused (fuse(C-A2A)), overlapped (ol(A2A-MLP-A2A)),
+            hierarchical (split(A2A) into intra/inter-node phases)
+==========  ==============================================================
 """
 
 from repro.workloads.adam import AdamWorkload, adam_reference
 from repro.workloads.lamb import LambWorkload, lamb_reference
 from repro.workloads.attention import AttentionWorkload
 from repro.workloads.pipeline import PipelineWorkload
+from repro.workloads.moe import MoEWorkload, moe_reference
 from repro.workloads.models import (
     BERT_336M,
     BERT_1_2B,
@@ -31,6 +45,8 @@ __all__ = [
     "lamb_reference",
     "AttentionWorkload",
     "PipelineWorkload",
+    "MoEWorkload",
+    "moe_reference",
     "ModelConfig",
     "BERT_336M",
     "BERT_1_2B",

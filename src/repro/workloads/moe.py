@@ -1,0 +1,203 @@
+"""GShard-style Mixture-of-Experts expert MLP over AllToAll.
+
+The workload family where AllToAll dominates: every rank holds, for each
+expert, a capacity-bounded group of routed tokens. A **dispatch**
+AllToAll sends each token group to the rank hosting its expert, the
+expert applies its two-layer MLP (GEMM → ReLU → GEMM), and a **combine**
+AllToAll returns the results to the ranks that own the tokens::
+
+    Tensor x (FP16, [E, C, M], Local, WORLD, RANK);   // routed tokens
+    Tensor w1(FP16, [M, F],    Local, WORLD, RANK);   // this rank's expert
+    Tensor w2(FP16, [F, M],    Local, WORLD, RANK);
+    Var disp = AllToAll(x, 0);                        // dispatch
+    Var h    = MatMul(disp, w1);
+    Var act  = ReLU(h);
+    Var eo   = MatMul(act, w2);
+    Var comb = AllToAll(eo, 0);                       // combine
+    Var out  = comb * (1 / E);                        // combine averaging
+
+with ``E = WORLD`` experts (one per rank), capacity ``C`` tokens per
+(source rank, expert) pair, model dimension ``M`` and FFN dimension
+``F``. Three schedules mirror the paper's families:
+
+* **GShard-Eq** — every operation a separate library kernel, the
+  abstraction-siloed baseline ("multiple kernel calls ... significantly
+  hurt performance");
+* **fused** — the combine-side scaling is reordered *before* the
+  combine (an AllToAll is a chunk permutation, so position-uniform
+  computation commutes with it) and fused into the exchange kernel;
+* **overlapped** — the fused schedule plus fine-grained overlap of the
+  whole dispatch → GEMM → ReLU → GEMM → combine chain, so expert
+  computation on chunk *c* starts as soon as dispatch delivers chunk
+  *c* (Figure 9 applied to a collective the paper never showed).
+
+The autotuner discovers the overlapped schedule on its own; see
+``benchmarks/bench_moe.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core import (
+    FP16,
+    RANK,
+    AllToAll,
+    Binary,
+    Const,
+    DType,
+    Execute,
+    Local,
+    MatMul,
+    Program,
+    ReLU,
+    Tensor,
+    world,
+)
+from repro.core.tensor import Expr
+from repro.core.transforms import (
+    A2ASplitHierarchical,
+    AllToAllFuse,
+    Schedule,
+)
+
+
+@dataclass
+class MoEWorkload:
+    """The MoE expert-MLP DSL program plus handles to its named values."""
+
+    program: Program
+    tokens: Tensor
+    w1: Tensor
+    w2: Tensor
+    dispatch: Expr
+    gemm1: Expr
+    act: Expr
+    gemm2: Expr
+    combine: Expr
+    scale: Expr
+    experts: int
+    capacity: int
+    model_dim: int
+    ffn_dim: int
+
+    @classmethod
+    def build(
+        cls,
+        capacity: int,
+        model_dim: int,
+        ffn_dim: int,
+        world_size: int,
+        dtype: DType = FP16,
+    ) -> "MoEWorkload":
+        """One expert per rank: ``E = world_size`` experts."""
+        E = world_size
+        W = world(world_size)
+        x = Tensor(dtype, (E, capacity, model_dim), Local, W, RANK, name="x")
+        w1 = Tensor(dtype, (model_dim, ffn_dim), Local, W, RANK, name="w1")
+        w2 = Tensor(dtype, (ffn_dim, model_dim), Local, W, RANK, name="w2")
+
+        disp = AllToAll(x, dim=0, name="dispatch")
+        h = MatMul(disp, w1, name="h")
+        act = ReLU(h)
+        eo = MatMul(act, w2, name="expert_out")
+        comb = AllToAll(eo, dim=0, name="combine")
+        # the averaging constant stays in the workload dtype so the
+        # epilogue (and the exchange the reorder moves it across) does
+        # not get promoted to FP32
+        out = Binary("*", comb, Const(1.0 / E, W, dtype), name="out")
+        prog = Execute("moe", [x, w1, w2], [out])
+        return cls(
+            program=prog,
+            tokens=x, w1=w1, w2=w2,
+            dispatch=disp, gemm1=h, act=act, gemm2=eo, combine=comb,
+            scale=out,
+            experts=E, capacity=capacity,
+            model_dim=model_dim, ffn_dim=ffn_dim,
+        )
+
+    # -- the schedule family ----------------------------------------------
+
+    def schedule_gshard(self) -> Schedule:
+        """GShard-Eq: library AllToAlls, GEMMs and pointwise kernels."""
+        return Schedule(self.program)
+
+    def _reorder_and_fuse(self) -> Tuple[Schedule, Expr]:
+        """Shared tail of the fused/overlapped schedules.
+
+        Moves the combine-side scaling before the exchange and fuses it
+        into the combine kernel; returns (schedule, fused block).
+        """
+        sched = Schedule(self.program)
+        results = sched.reorder(self.combine, self.scale)
+        scaled, new_comb = results[0], results[1]
+        block = sched.fuse(scaled, new_comb, policy=AllToAllFuse)
+        return sched, block
+
+    def schedule_fused(self) -> Schedule:
+        """fuse(C-A2A): scaling rides the combine exchange kernel."""
+        sched, _ = self._reorder_and_fuse()
+        return sched
+
+    def schedule_overlapped(self) -> Schedule:
+        """ol(A2A, MM, C, MM, fuse(C-A2A)): the full chunk pipeline."""
+        sched, block = self._reorder_and_fuse()
+        sched.overlap(
+            self.dispatch, self.gemm1, self.act, self.gemm2, block
+        )
+        return sched
+
+    def schedule_hierarchical(self, node_size: int = 16) -> Schedule:
+        """split(A2A): both exchanges as intra-node + inter-node phases.
+
+        Profitable across nodes, where it replaces ``(k-1)*m`` small
+        NIC messages per exchange with ``k-1`` large ones.
+        """
+        sched = Schedule(self.program)
+        sched.split(self.dispatch, A2ASplitHierarchical, node_size=node_size)
+        sched.split(self.combine, A2ASplitHierarchical, node_size=node_size)
+        return sched
+
+    def schedules(self) -> Dict[str, Schedule]:
+        """The named schedule family, as the benchmarks report them."""
+        return {
+            "GShard-Eq": self.schedule_gshard(),
+            "fused": self.schedule_fused(),
+            "overlapped": self.schedule_overlapped(),
+        }
+
+
+def moe_reference(
+    x: np.ndarray,
+    w1: np.ndarray,
+    w2: np.ndarray,
+) -> np.ndarray:
+    """Reference MoE step on stacked per-rank arrays.
+
+    ``x`` has shape (n, E, C, M) — per-rank routed tokens with the rank
+    axis leading, matching how the executor feeds Local tensors; ``w1``
+    is (n, M, F) and ``w2`` (n, F, M). Returns the per-rank outputs
+    stacked the same way, in float64.
+    """
+    n, E, C, M = x.shape
+    if E % n != 0:
+        raise ValueError(f"{E} experts do not divide over {n} ranks")
+    per = E // n
+
+    def exchange(buf: np.ndarray) -> np.ndarray:
+        out = np.empty_like(buf)
+        for r in range(n):
+            out[r] = np.concatenate(
+                [buf[j, r * per : (r + 1) * per] for j in range(n)], axis=0
+            )
+        return out
+
+    disp = exchange(x.astype(np.float64))
+    # w[:, None] keeps the rank axis aligned with disp's leading axis
+    # (each rank applies *its own* expert weights to every chunk)
+    h = np.maximum(disp @ w1.astype(np.float64)[:, None], 0.0)
+    eo = h @ w2.astype(np.float64)[:, None]
+    return exchange(eo) / E

@@ -8,12 +8,26 @@ import sys
 import pytest
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+SRC_DIR = os.path.join(os.path.dirname(__file__), "..", "src")
+
+
+def _env():
+    """Run examples with src/ importable even when pytest was launched
+    without PYTHONPATH (pytest's ``pythonpath`` ini does not propagate
+    to subprocesses)."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        SRC_DIR if not existing else SRC_DIR + os.pathsep + existing
+    )
+    return env
 
 EXAMPLES = [
     "quickstart.py",
     "data_parallel_adam.py",
     "model_parallel_attention.py",
     "pipeline_parallel_gpt3.py",
+    "moe_alltoall.py",
 ]
 
 
@@ -25,6 +39,7 @@ def test_example_runs(script):
         capture_output=True,
         text=True,
         timeout=300,
+        env=_env(),
     )
     assert proc.returncode == 0, proc.stderr[-2000:]
     assert proc.stdout.strip(), "example produced no output"
@@ -33,7 +48,7 @@ def test_example_runs(script):
 def test_quickstart_reports_speedup():
     proc = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
-        capture_output=True, text=True, timeout=300,
+        capture_output=True, text=True, timeout=300, env=_env(),
     )
     assert "Semantics preserved" in proc.stdout
     assert "speedup" in proc.stdout.lower()
@@ -45,7 +60,7 @@ def test_pipeline_example_reports_table5():
             sys.executable,
             os.path.join(EXAMPLES_DIR, "pipeline_parallel_gpt3.py"),
         ],
-        capture_output=True, text=True, timeout=300,
+        capture_output=True, text=True, timeout=300, env=_env(),
     )
     assert "GPT-3 175B" in proc.stdout
     assert "paper reports" in proc.stdout

@@ -37,6 +37,9 @@ class Program:
         self.inputs: Tuple[Expr, ...] = tuple(inputs)
         self.outputs: Tuple[Expr, ...] = tuple(outputs)
         self.effects: Tuple[Expr, ...] = tuple(effects)
+        # a Program's DFG is frozen at construction, so its topological
+        # order is computed once; do not mutate the cached lists
+        self._topo_cache: "List[Expr] | None" = None
         self._validate()
 
     def _validate(self) -> None:
@@ -58,10 +61,15 @@ class Program:
         """Outputs plus side-effect ops: everything that must execute."""
         return self.outputs + self.effects
 
+    def _topological(self) -> List[Expr]:
+        if self._topo_cache is None:
+            self._topo_cache = dfg.topological(self.roots)
+        return self._topo_cache
+
     @property
     def operations(self) -> List[Expr]:
         """All non-leaf vertices in topological (executable) order."""
-        return [e for e in dfg.topological(self.roots) if not e.is_leaf]
+        return [e for e in self._topological() if not e.is_leaf]
 
     @property
     def comm_ops(self) -> List[Expr]:
@@ -81,7 +89,7 @@ class Program:
 
     def find(self, name: str) -> Expr:
         """Look up a vertex (input or operation) by name."""
-        for e in dfg.topological(self.roots):
+        for e in self._topological():
             if e.name == name:
                 return e
         for e in self.inputs:

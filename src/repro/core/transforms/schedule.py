@@ -46,8 +46,61 @@ class Schedule:
         self._fwd: Dict[Expr, Expr] = {}
         self._blocks: List[FusedBlock] = []
         self._overlaps: List[OverlapGroup] = []
+        #: bumped on every recorded transformation; keys the caches below
+        self._version = 0
+        self._plan_cache: "Tuple[int, ExecutionPlan] | None" = None
+        self._users_cache: "Tuple[int, Dict[Expr, List[Expr]]] | None" = None
 
     # -- bookkeeping ---------------------------------------------------------
+
+    def fork(self) -> "Schedule":
+        """An independent copy sharing the (immutable) expression graph.
+
+        Transformations rewrite the program functionally — expressions
+        are never mutated in place — so forking only copies the
+        schedule's own bookkeeping: the forward map, the step list, and
+        the fused blocks / overlap groups (whose member lists *are*
+        mutated by later transformations). The autotuner forks the
+        frontier schedule per move instead of replaying every move
+        script from the root.
+        """
+        new = Schedule.__new__(Schedule)
+        new.original = self.original
+        new.program = self.program
+        new.steps = list(self.steps)
+        new._fwd = dict(self._fwd)
+        block_map: Dict[int, FusedBlock] = {}
+        new._blocks = []
+        for b in self._blocks:
+            nb = FusedBlock.__new__(FusedBlock)
+            nb.policy = b.policy
+            nb.members = list(b.members)
+            nb.name = b.name
+            block_map[id(b)] = nb
+            new._blocks.append(nb)
+        new._overlaps = []
+        for g in self._overlaps:
+            ng = OverlapGroup.__new__(OverlapGroup)
+            ng.items = [block_map.get(id(it), it) for it in g.items]
+            ng.name = g.name
+            new._overlaps.append(ng)
+        new._version = self._version
+        new._plan_cache = None
+        new._users_cache = None
+        return new
+
+    def users_map(self) -> Dict[Expr, List[Expr]]:
+        """Cached :func:`dfg.users_map` of the current program.
+
+        Region-discovery helpers query consumers once per enumerated
+        move; the map only changes when a transformation rewrites the
+        program, so it is cached per schedule version.
+        """
+        if self._users_cache is None or self._users_cache[0] != self._version:
+            self._users_cache = (
+                self._version, dfg.users_map(self.program.roots)
+            )
+        return self._users_cache[1]
 
     def resolve(self, e: Expr) -> Expr:
         """Chase an expression to its current version in the program."""
@@ -61,9 +114,11 @@ class Schedule:
 
     def _record(self, step: str) -> None:
         self.steps.append(step)
+        self._version += 1
 
     def _set_program(self, program: Program) -> None:
         self.program = program
+        self._version += 1
 
     def _block_of(self, e: Expr) -> Optional[FusedBlock]:
         for b in self._blocks:
@@ -73,6 +128,8 @@ class Schedule:
 
     def _dissolve_block(self, block: FusedBlock) -> None:
         self._blocks = [b for b in self._blocks if b is not block]
+        # invalidate caches even when the caller's transform later fails
+        self._version += 1
 
     def _apply_rewrite(
         self,
@@ -188,7 +245,19 @@ class Schedule:
     # -- plan derivation -------------------------------------------------------
 
     def plan(self) -> ExecutionPlan:
-        """Derive the execution plan: kernels + overlap groups."""
+        """Derive the execution plan: kernels + overlap groups.
+
+        Cached per schedule version — the autotuner's move enumeration
+        and the cost model both consult the plan of an unchanged
+        schedule repeatedly.
+        """
+        if self._plan_cache is not None and self._plan_cache[0] == self._version:
+            return self._plan_cache[1]
+        plan = self._derive_plan()
+        self._plan_cache = (self._version, plan)
+        return plan
+
+    def _derive_plan(self) -> ExecutionPlan:
         operations = self.program.operations
         op_set = set(operations)
         block_of: Dict[Expr, FusedBlock] = {}

@@ -6,10 +6,25 @@ stream, a node's NVSwitch fabric, the IB NICs). The engine performs
 greedy list scheduling: among ready tasks, always start the one that
 can begin earliest — which models in-order streams and FIFO hardware
 queues well enough for kernel-granularity simulation.
+
+Two implementations share those semantics:
+
+* :meth:`Engine.run` — an event-driven heap scheduler. Tasks enter a
+  priority queue keyed by ``(earliest start, submission order)`` as
+  their dependency counts reach zero; stale keys (a task whose resource
+  got busier since it was pushed) are lazily re-pushed. O(n log n + E).
+* :meth:`Engine._reference_run` — the original O(n²) ready-scan list
+  scheduler, kept as the executable specification the heap scheduler is
+  property-tested against.
+
+Both produce bit-identical :class:`Timeline` spans: the heap key's
+second component reproduces the reference scheduler's first-in-input-
+order tie-breaking exactly.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,9 +47,12 @@ class Task:
 
 @dataclass
 class Timeline:
-    """Start/end times of every scheduled task."""
+    """Start/end times (and resources) of every scheduled task."""
 
     spans: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: resource each task ran on, filled in by the engine — lets
+    #: utilization be computed from the timeline alone
+    resources: Dict[str, str] = field(default_factory=dict)
 
     @property
     def makespan(self) -> float:
@@ -49,12 +67,44 @@ class Timeline:
         return self.spans[name][1]
 
     def busy_time(self, resource_prefix: str, tasks: Sequence[Task]) -> float:
-        """Total occupied time of resources whose name has the prefix."""
-        return sum(
-            self.spans[t.name][1] - self.spans[t.name][0]
-            for t in tasks
-            if t.resource.startswith(resource_prefix) and t.name in self.spans
-        )
+        """Total occupied time of resources whose name has the prefix.
+
+        Tasks absent from ``spans`` (e.g. from a different run, or not
+        yet scheduled) are skipped before any subscripting.
+        """
+        total = 0.0
+        for t in tasks:
+            if t.name not in self.spans:
+                continue
+            if not t.resource.startswith(resource_prefix):
+                continue
+            start, end = self.spans[t.name]
+            total += end - start
+        return total
+
+    def utilization(self, resource: str) -> float:
+        """Busy fraction of the makespan for one resource (or family).
+
+        Uses the engine-recorded :attr:`resources` map, so no task list
+        is needed. Matches the exact resource name, or — when the query
+        ends with the ``":"`` separator — a whole family (``"gpu:"``
+        covers every GPU stream), reporting the *mean* busy fraction
+        over the matching resources so the result is always in [0, 1].
+        A bare partial name never prefix-matches, so
+        ``utilization("gpu:1")`` does not absorb ``gpu:10``..``gpu:15``.
+        """
+        makespan = self.makespan
+        if makespan <= 0:
+            return 0.0
+        family = resource.endswith(":")
+        busy: Dict[str, float] = {}
+        for name, res in self.resources.items():
+            if res == resource or (family and res.startswith(resource)):
+                start, end = self.spans[name]
+                busy[res] = busy.get(res, 0.0) + (end - start)
+        if not busy:
+            return 0.0
+        return sum(busy.values()) / (makespan * len(busy))
 
     def describe(self, limit: Optional[int] = None) -> str:
         items = sorted(self.spans.items(), key=lambda kv: kv[1][0])
@@ -67,9 +117,18 @@ class Timeline:
 
 
 class Engine:
-    """Greedy list scheduler over dependent tasks."""
+    """Greedy list scheduler over dependent tasks.
 
-    def run(self, tasks: Sequence[Task]) -> Timeline:
+    ``Engine(reference=True)`` routes :meth:`run` through the O(n²)
+    ready-scan implementation — the pre-optimization behavior, used by
+    the autotuner's baseline mode and the equivalence property tests.
+    """
+
+    def __init__(self, reference: bool = False) -> None:
+        self.reference = reference
+
+    @staticmethod
+    def _validate(tasks: Sequence[Task]) -> Dict[str, Task]:
         by_name = {t.name: t for t in tasks}
         if len(by_name) != len(tasks):
             raise CoCoNetError("duplicate task names")
@@ -79,6 +138,73 @@ class Engine:
                     raise CoCoNetError(
                         f"task {t.name} depends on unknown task {d!r}"
                     )
+        return by_name
+
+    def run(self, tasks: Sequence[Task]) -> Timeline:
+        """Event-driven heap scheduling; same semantics as the reference.
+
+        A task enters the ready heap once all dependencies are
+        scheduled, keyed by its earliest start under the resource
+        availability known at push time. Resource availability only
+        grows, so a stale key underestimates — on pop the key is
+        recomputed and the entry re-pushed if it changed; an accurate
+        popped key is the global minimum, i.e. exactly the task the
+        O(n²) ready-scan would have picked.
+        """
+        if self.reference:
+            return self._reference_run(tasks)
+        by_name = self._validate(tasks)
+        timeline = Timeline()
+        resource_free: Dict[str, float] = {}
+        order: Dict[str, int] = {t.name: i for i, t in enumerate(tasks)}
+        users: Dict[str, List[str]] = {t.name: [] for t in tasks}
+        missing: Dict[str, int] = {}
+        ready_at: Dict[str, float] = {}
+        for t in tasks:
+            unique_deps = set(t.deps)
+            missing[t.name] = len(unique_deps)
+            for d in unique_deps:
+                users[d].append(t.name)
+
+        heap: List[Tuple[float, int, str]] = []
+        for t in tasks:
+            if missing[t.name] == 0:
+                ready_at[t.name] = 0.0
+                heapq.heappush(heap, (0.0, order[t.name], t.name))
+
+        scheduled = 0
+        while heap:
+            pushed_start, idx, name = heapq.heappop(heap)
+            t = by_name[name]
+            start = max(ready_at[name], resource_free.get(t.resource, 0.0))
+            if start > pushed_start:
+                heapq.heappush(heap, (start, idx, name))
+                continue
+            end = start + t.duration
+            timeline.spans[name] = (start, end)
+            timeline.resources[name] = t.resource
+            resource_free[t.resource] = end
+            scheduled += 1
+            for u in users[name]:
+                ready_at[u] = max(ready_at.get(u, 0.0), end)
+                missing[u] -= 1
+                if missing[u] == 0:
+                    u_task = by_name[u]
+                    u_start = max(
+                        ready_at[u],
+                        resource_free.get(u_task.resource, 0.0),
+                    )
+                    heapq.heappush(heap, (u_start, order[u], u))
+        if scheduled != len(tasks):
+            names = [t.name for t in tasks if t.name not in timeline.spans]
+            raise CoCoNetError(
+                f"dependency cycle among tasks: {names[:5]}..."
+            )
+        return timeline
+
+    def _reference_run(self, tasks: Sequence[Task]) -> Timeline:
+        """The original O(n²) ready-scan list scheduler (specification)."""
+        self._validate(tasks)
         timeline = Timeline()
         resource_free: Dict[str, float] = {}
         pending: List[Task] = list(tasks)
@@ -103,6 +229,7 @@ class Engine:
             t = pending.pop(best_idx)
             end = best_start + t.duration
             timeline.spans[t.name] = (best_start, end)
+            timeline.resources[t.name] = t.resource
             resource_free[t.resource] = end
             scheduled.add(t.name)
         return timeline

@@ -53,8 +53,30 @@ class KernelCost:
         return max(0.0, self.duration - self.head)
 
 
+@dataclass
+class CostEvaluation:
+    """Result of :meth:`ProgramCostModel.evaluate`.
+
+    When ``pruned`` is true, ``time`` is a *lower bound* on the true
+    makespan, already known to be no better than the caller's cutoff —
+    the full discrete-event simulation was skipped.
+    """
+
+    time: float
+    pruned: bool = False
+
+
 class ProgramCostModel:
-    """Estimate execution time of scheduled programs on a cluster."""
+    """Estimate execution time of scheduled programs on a cluster.
+
+    With ``memoize`` on (the default), the protocol × channel × algorithm
+    sweep behind every collective is cached per
+    ``(collective kind, bytes, group, node_size)`` — the protocols and
+    channel sets are fixed per model instance, so the key pins the whole
+    search space of the sweep. The autotuner constructs one model per
+    tune, paying each distinct collective configuration once instead of
+    once per candidate schedule.
+    """
 
     def __init__(
         self,
@@ -68,6 +90,8 @@ class ProgramCostModel:
         ),
         gemm_efficiency: float = 0.72,
         overlap_chunks: Optional[int] = None,
+        memoize: bool = True,
+        engine: Optional[Engine] = None,
     ) -> None:
         self.cluster = cluster
         self.gpu = gpu or cluster.node.gpu
@@ -77,6 +101,15 @@ class ProgramCostModel:
         self.fused_compute_params = fused_compute_params
         self.gemm_efficiency = gemm_efficiency
         self.overlap_chunks = overlap_chunks
+        self.memoize = memoize
+        self.engine = engine or Engine()
+        self._collective_memo: Dict[tuple, Tuple[float, float]] = {}
+        self._ring_sweep_memo: Dict[tuple, float] = {}
+        self._latency_memo: Dict[tuple, float] = {}
+        self._ring_memo: Dict[tuple, object] = {}
+        # keyed by member-expression identity; the value keeps the
+        # expression tuple alive so ids cannot be recycled under the key
+        self._kernel_memo: Dict[tuple, Tuple[KernelCost, tuple]] = {}
 
     # -- public API -----------------------------------------------------
 
@@ -85,20 +118,48 @@ class ProgramCostModel:
         timeline, _ = self.timeline(scheduled)
         return timeline.makespan
 
+    def evaluate(
+        self,
+        scheduled: Union[Schedule, Program],
+        cutoff: Optional[float] = None,
+    ) -> CostEvaluation:
+        """Makespan, with an optional best-so-far lower-bound prune.
+
+        ``cutoff`` is the fastest time seen so far. Each resource
+        executes its kernels serially, so the largest per-resource sum
+        of (un-overlapped) kernel durations lower-bounds the makespan;
+        if that bound already reaches the cutoff the candidate cannot
+        win and the discrete-event run is skipped.
+        """
+        plan = self._plan_of(scheduled)
+        costs = {k.name: self._kernel_cost_cached(k) for k in plan.kernels}
+        if cutoff is not None:
+            busy: Dict[str, float] = {}
+            for c in costs.values():
+                busy[c.resource] = busy.get(c.resource, 0.0) + c.duration
+            bound = max(busy.values(), default=0.0)
+            if bound >= cutoff:
+                return CostEvaluation(bound, pruned=True)
+        tasks = self._build_tasks(plan, costs)
+        return CostEvaluation(self.engine.run(tasks).makespan)
+
     def timeline(
         self, scheduled: Union[Schedule, Program]
     ) -> Tuple[Timeline, List[Task]]:
         """Full task timeline (for breakdowns and inspection)."""
         plan = self._plan_of(scheduled)
         tasks = self._build_tasks(plan)
-        return Engine().run(tasks), tasks
+        return self.engine.run(tasks), tasks
 
     def kernel_breakdown(
         self, scheduled: Union[Schedule, Program]
     ) -> Dict[str, float]:
         """Per-kernel cost (unoverlapped durations) for bar charts."""
         plan = self._plan_of(scheduled)
-        return {k.name: self._kernel_cost(k).duration for k in plan.kernels}
+        return {
+            k.name: self._kernel_cost_cached(k).duration
+            for k in plan.kernels
+        }
 
     # -- internals ------------------------------------------------------
 
@@ -110,6 +171,24 @@ class ProgramCostModel:
 
     def _stream_of(self, kernel: Kernel) -> str:
         return f"gpu:{kernel.output.group.start}"
+
+    def _kernel_cost_cached(self, kernel: Kernel) -> KernelCost:
+        """Kernel cost memoized by member-expression identity.
+
+        Expressions are immutable and shared across forked schedules,
+        so a kernel over the same member objects always costs the same;
+        the same collective or GEMM reappearing in many candidate plans
+        is priced once per tune.
+        """
+        if not self.memoize:
+            return self._kernel_cost(kernel)
+        key = (kernel.kind, tuple(id(e) for e in kernel.exprs))
+        hit = self._kernel_memo.get(key)
+        if hit is not None:
+            return hit[0]
+        cost = self._kernel_cost(kernel)
+        self._kernel_memo[key] = (cost, kernel.exprs)
+        return cost
 
     def _kernel_cost(self, kernel: Kernel) -> KernelCost:
         kind = kernel.kind
@@ -216,12 +295,17 @@ class ProgramCostModel:
         extra = 0.0
         for e in exprs:
             if isinstance(e, (ops.Norm, ops.ReduceTensor)) and e.crosses_ranks:
-                ring = build_ring(self.cluster, e.group)
-                extra += collective_time(
-                    "allreduce", 8, self.cluster, ring,
-                    self.protocols[0], 2, Algorithm.TREE,
-                    include_setup=False,
-                )
+                key = ("xrank", e.group.start, e.group.size)
+                cached = self._latency_memo.get(key)
+                if cached is None:
+                    cached = collective_time(
+                        "allreduce", 8, self.cluster, self._ring(e.group),
+                        self.protocols[0], 2, Algorithm.TREE,
+                        include_setup=False,
+                    )
+                    if self.memoize:
+                        self._latency_memo[key] = cached
+                extra += cached
             elif isinstance(e, (ops.Norm, ops.ReduceTensor)):
                 # a full reduction is an extra pass over the data
                 extra += e.inputs[0].per_rank_bytes() / self.gpu.hbm_bandwidth
@@ -236,6 +320,58 @@ class ProgramCostModel:
             return f"fabric:node{first}"
         return f"fabric:g{group.start}x{group.size}"
 
+    # -- memoized collective sweeps -------------------------------------
+
+    def _ring(self, group):
+        """Per-group ring topology, built once per model instance."""
+        key = (group.start, group.size)
+        ring = self._ring_memo.get(key)
+        if ring is None:
+            ring = build_ring(self.cluster, group)
+            if self.memoize:
+                self._ring_memo[key] = ring
+        return ring
+
+    def _ring_min_time(
+        self, kind: str, nbytes: int, group, node_size
+    ) -> float:
+        """Cheapest ring-algorithm time over all protocols × channels."""
+        key = (kind, nbytes, group.start, group.size, node_size)
+        cached = self._ring_sweep_memo.get(key)
+        if cached is not None:
+            return cached
+        ring = self._ring(group)
+        best = min(
+            collective_time(
+                kind, nbytes, self.cluster, ring, p, c, Algorithm.RING,
+                node_size=node_size,
+            )
+            for p in self.protocols
+            for c in self.channels
+        )
+        if self.memoize:
+            self._ring_sweep_memo[key] = best
+        return best
+
+    def _collective_latency(self, kind: str, group, node_size) -> float:
+        """Latency + setup of the cheapest same-kind near-zero-size call."""
+        key = (kind, group.start, group.size, node_size)
+        cached = self._latency_memo.get(key)
+        if cached is not None:
+            return cached
+        ring = self._ring(group)
+        lat = min(
+            collective_time(
+                kind, 1, self.cluster, ring, p, c, Algorithm.RING,
+                include_setup=True, node_size=node_size,
+            )
+            for p in self.protocols
+            for c in self.channels
+        )
+        if self.memoize:
+            self._latency_memo[key] = lat
+        return lat
+
     def _collective_cost(
         self, comm: Expr, ring_only: bool = False
     ) -> Tuple[float, float]:
@@ -248,34 +384,23 @@ class ProgramCostModel:
         node_size = getattr(comm, "node_size", None)
         if group.size <= 1:
             return 0.0, 0.0
+        key = (kind, nbytes, group.start, group.size, node_size, ring_only)
+        cached = self._collective_memo.get(key)
+        if cached is not None:
+            return cached
         cfg, t = choose_config(
             kind, nbytes, self.cluster, group,
             protocols=self.protocols, channels=self.channels,
             node_size=node_size,
         )
         if ring_only and cfg.algorithm is not Algorithm.RING:
-            ring = build_ring(self.cluster, group)
-            best = float("inf")
-            for p in self.protocols:
-                for c in self.channels:
-                    cand = collective_time(
-                        kind, nbytes, self.cluster, ring, p, c,
-                        Algorithm.RING, node_size=node_size,
-                    )
-                    best = min(best, cand)
-            t = best
+            t = self._ring_min_time(kind, nbytes, group, node_size)
         # The head (non-chunkable part) is the latency + setup of the
         # cheapest same-kind call at near-zero size.
-        ring = build_ring(self.cluster, group)
-        lat = min(
-            collective_time(
-                kind, 1, self.cluster, ring, p, c, Algorithm.RING,
-                include_setup=True, node_size=node_size,
-            )
-            for p in self.protocols
-            for c in self.channels
-        )
+        lat = self._collective_latency(kind, group, node_size)
         head = max(0.0, min(lat, t))
+        if self.memoize:
+            self._collective_memo[key] = (t, head)
         return t, head
 
     def _fused_collective_cost(self, kernel: Kernel) -> KernelCost:
@@ -298,16 +423,7 @@ class ProgramCostModel:
         )
         group = anchor.group
         node_size = getattr(anchor, "node_size", None)
-        ring = build_ring(self.cluster, group)
-        best = float("inf")
-        for p in self.protocols:
-            for c in self.channels:
-                t = collective_time(
-                    kind, nbytes, self.cluster, ring, p, c, Algorithm.RING,
-                    node_size=node_size,
-                )
-                best = min(best, t)
-        comm_time = best
+        comm_time = self._ring_min_time(kind, nbytes, group, node_size)
         if kind.startswith("alltoall"):
             # A fused AllToAll applies the pointwise ops to each chunk
             # as the exchange stages it — "directly passing the output
@@ -325,14 +441,7 @@ class ProgramCostModel:
         compute_time += self._cross_rank_reduction_cost(comp_ops)
         launch = self.gpu.kernel_launch_overhead
         duration = max(comm_time, compute_time) + launch
-        lat = min(
-            collective_time(
-                kind, 1, self.cluster, ring, p, c, Algorithm.RING,
-                include_setup=True, node_size=node_size,
-            )
-            for p in self.protocols
-            for c in self.channels
-        )
+        lat = self._collective_latency(kind, group, node_size)
         head = min(duration, lat + launch)
         return KernelCost(duration, self._fabric_of(anchor), head)
 
@@ -369,11 +478,17 @@ class ProgramCostModel:
 
     # -- task graph construction ------------------------------------------
 
-    def _build_tasks(self, plan: ExecutionPlan) -> List[Task]:
+    def _build_tasks(
+        self,
+        plan: ExecutionPlan,
+        costs: Optional[Dict[str, KernelCost]] = None,
+    ) -> List[Task]:
         producer: Dict[int, str] = {}
-        costs: Dict[str, KernelCost] = {}
+        if costs is None:
+            costs = {
+                k.name: self._kernel_cost_cached(k) for k in plan.kernels
+            }
         for k in plan.kernels:
-            costs[k.name] = self._kernel_cost(k)
             for e in k.exprs:
                 producer[id(e)] = k.name
 

@@ -1,6 +1,8 @@
 """Tests for the discrete-event engine and the program cost model."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cluster import Cluster
 from repro.core import (
@@ -87,6 +89,115 @@ class TestEngine:
         tasks = [Task("a", "net:0", 2.0), Task("b", "net:1", 3.0)]
         tl = Engine().run(tasks)
         assert tl.busy_time("net:", tasks) == pytest.approx(5.0)
+
+    def test_busy_time_skips_unscheduled_tasks(self):
+        # a task list mentioning work the timeline never saw must not
+        # raise — missing names are filtered before subscripting
+        tasks = [Task("a", "net:0", 2.0)]
+        tl = Engine().run(tasks)
+        extra = tasks + [Task("ghost", "net:1", 9.0)]
+        assert tl.busy_time("net:", extra) == pytest.approx(2.0)
+
+    def test_utilization_from_recorded_resources(self):
+        tasks = [
+            Task("a", "gpu:0", 2.0),
+            Task("b", "net:0", 3.0, ("a",)),
+        ]
+        tl = Engine().run(tasks)
+        # makespan 5: gpu busy 2, net busy 3
+        assert tl.utilization("gpu:0") == pytest.approx(2.0 / 5.0)
+        assert tl.utilization("net:") == pytest.approx(3.0 / 5.0)
+        assert tl.utilization("nowhere") == 0.0
+
+    def test_utilization_exact_name_does_not_prefix_match(self):
+        # "gpu:1" must not absorb gpu:10..gpu:15; only a ":"-terminated
+        # query means a whole family
+        tasks = [
+            Task("a", "gpu:1", 2.0),
+            Task("b", "gpu:10", 3.0),
+        ]
+        tl = Engine().run(tasks)
+        assert tl.utilization("gpu:1") == pytest.approx(2.0 / 3.0)
+        # a family query averages over its members, staying in [0, 1]
+        assert tl.utilization("gpu:") == pytest.approx(
+            (2.0 / 3.0 + 3.0 / 3.0) / 2
+        )
+
+    def test_utilization_empty_timeline(self):
+        from repro.perf.engine import Timeline
+
+        assert Timeline().utilization("gpu:") == 0.0
+
+
+def _random_task_graph(draw) -> list:
+    """Random DAG: deps only point at earlier tasks, so it is acyclic.
+
+    Durations are drawn from a tiny integer set to force start-time
+    ties, the case where the heap's (start, submission order) key must
+    reproduce the reference scan's first-in-input-order tie-breaking.
+    """
+    n = draw(st.integers(1, 24))
+    n_resources = draw(st.integers(1, 4))
+    tasks = []
+    for i in range(n):
+        resource = f"r{draw(st.integers(0, n_resources - 1))}"
+        duration = float(draw(st.sampled_from([0, 1, 1, 2, 3])))
+        if i == 0:
+            deps = ()
+        else:
+            k = draw(st.integers(0, min(3, i)))
+            deps = tuple(
+                f"t{j}"
+                for j in sorted(
+                    draw(
+                        st.sets(
+                            st.integers(0, i - 1), min_size=k, max_size=k
+                        )
+                    )
+                )
+            )
+        tasks.append(Task(f"t{i}", resource, duration, deps))
+    return tasks
+
+
+class TestEngineEquivalence:
+    """The heap scheduler is a drop-in for the O(n²) reference."""
+
+    @given(data=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_heap_matches_reference_on_random_graphs(self, data):
+        tasks = _random_task_graph(data.draw)
+        heap_tl = Engine().run(tasks)
+        ref_tl = Engine()._reference_run(tasks)
+        assert heap_tl.spans == ref_tl.spans
+        assert heap_tl.resources == ref_tl.resources
+
+    def test_reference_flag_routes_run(self):
+        tasks = [Task("a", "r", 1.0), Task("b", "r", 2.0, ("a",))]
+        assert Engine(reference=True).run(tasks).spans == (
+            Engine().run(tasks).spans
+        )
+
+    def test_heap_detects_cycle(self):
+        tasks = [Task("a", "r", 1.0, ("b",)), Task("b", "r", 1.0, ("a",))]
+        with pytest.raises(CoCoNetError, match="cycle"):
+            Engine().run(tasks)
+        with pytest.raises(CoCoNetError, match="cycle"):
+            Engine()._reference_run(tasks)
+
+    def test_equivalence_on_cost_model_task_graphs(self):
+        # the graphs that matter: chunked overlap pipelines from the
+        # program cost model, where stale heap keys actually occur
+        from repro.workloads.moe import MoEWorkload
+
+        wl = MoEWorkload.build(256, 512, 2048, 16)
+        pcm = ProgramCostModel(Cluster(1))
+        for sched in wl.schedules().values():
+            plan = sched.plan()
+            tasks = pcm._build_tasks(plan)
+            assert Engine().run(tasks).spans == (
+                Engine()._reference_run(tasks).spans
+            )
 
 
 class TestKernelCost:

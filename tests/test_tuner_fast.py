@@ -1,0 +1,207 @@
+"""Tests for the fast autotuner stack: incremental search, plan-
+signature dedup, memoized cost evaluation, and lower-bound pruning.
+
+The invariant everything here guards: the optimizations change how fast
+the search runs, never what it returns. ``Autotuner(baseline=True)``
+(root replay + unmemoized costs + O(n²) reference engine, same
+candidate space) is the executable specification.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.core.autotuner import Autotuner
+from repro.core.transforms import Schedule
+from repro.perf import Engine, ProgramCostModel
+from repro.workloads.adam import AdamWorkload
+from repro.workloads.attention import AttentionWorkload
+from repro.workloads.lamb import LambWorkload
+from repro.workloads.moe import MoEWorkload
+
+
+def _suite():
+    return [
+        (AdamWorkload.build(2**18, 16), Cluster(1)),
+        (LambWorkload.build(2**18, 16), Cluster(1)),
+        (AttentionWorkload.build(4, 256, 1024, 16), Cluster(1)),
+        (MoEWorkload.build(128, 512, 2048, 32), Cluster(2)),
+    ]
+
+
+class TestMemoizedCostModel:
+    def test_cached_matches_uncached_bitwise_on_all_workloads(self):
+        # memoization returns the stored float, so agreement must be
+        # exact, not approximate
+        for wl, cluster in _suite():
+            cached = ProgramCostModel(cluster, memoize=True)
+            uncached = ProgramCostModel(cluster, memoize=False)
+            for name, sched in wl.schedules().items():
+                assert cached.time(sched) == uncached.time(sched), (
+                    wl.program.name, name
+                )
+
+    def test_cached_matches_uncached_across_tuned_candidates(self):
+        wl = MoEWorkload.build(128, 512, 2048, 16)
+        result = Autotuner(Cluster(1), prune=False).tune(wl.program)
+        cached = ProgramCostModel(Cluster(1), memoize=True)
+        uncached = ProgramCostModel(Cluster(1), memoize=False)
+        for c in result.candidates:
+            assert cached.time(c.schedule) == uncached.time(c.schedule)
+            assert cached.time(c.schedule) == c.time
+
+    def test_memo_is_populated(self):
+        wl, cluster = _suite()[0]
+        pcm = ProgramCostModel(cluster)
+        pcm.time(wl.schedule_fused())
+        assert pcm._collective_memo or pcm._ring_sweep_memo
+
+    def test_evaluate_prunes_with_cutoff(self):
+        wl, cluster = _suite()[0]
+        pcm = ProgramCostModel(cluster)
+        sched = wl.schedule_gshard()
+        exact = pcm.evaluate(sched)
+        assert not exact.pruned
+        # an impossible cutoff forces the lower-bound exit
+        pruned = pcm.evaluate(sched, cutoff=exact.time / 1e6)
+        assert pruned.pruned
+        assert pruned.time <= exact.time  # a true lower bound
+
+    def test_evaluate_without_cutoff_matches_time(self):
+        wl, cluster = _suite()[2]
+        pcm = ProgramCostModel(cluster)
+        sched = wl.schedule_coconet()
+        assert pcm.evaluate(sched).time == pcm.time(sched)
+
+
+class TestIncrementalMatchesBaseline:
+    @pytest.mark.parametrize("idx", range(4))
+    def test_same_candidates_same_times(self, idx):
+        wl, cluster = _suite()[idx]
+        base = Autotuner(cluster, baseline=True).tune(wl.program)
+        fast = Autotuner(cluster, prune=False).tune(wl.program)
+        assert [c.name for c in base.candidates] == [
+            c.name for c in fast.candidates
+        ]
+        for cb, cf in zip(base.candidates, fast.candidates):
+            assert cb.time == cf.time, cb.name
+        assert base.best.name == fast.best.name
+        assert base.best.time == fast.best.time
+
+    @pytest.mark.parametrize("idx", range(4))
+    def test_pruning_preserves_the_best(self, idx):
+        wl, cluster = _suite()[idx]
+        pruned = Autotuner(cluster).tune(wl.program)
+        unpruned = Autotuner(cluster, prune=False).tune(wl.program)
+        assert pruned.best.name == unpruned.best.name
+        assert pruned.best.time == unpruned.best.time
+        # a pruned candidate records a lower bound, never an
+        # overestimate below the winner
+        for c in pruned.candidates:
+            if c.pruned:
+                assert c.time >= pruned.best.time
+
+    def test_best_is_never_a_pruned_candidate(self):
+        wl, cluster = _suite()[3]
+        result = Autotuner(cluster).tune(wl.program)
+        assert not result.best.pruned
+
+
+class TestPlanSignatureDedup:
+    """Regression for the historical ``tuple(sorted(script))`` key,
+    which treated move scripts as order-insensitive and silently
+    skipped order-dependent schedules."""
+
+    ORDER_A = (
+        ("split", "avg"), ("reorder", "ag_avg"), ("arfuse", "rs_avg"),
+    )
+    ORDER_B = (
+        ("split", "avg"), ("arfuse", "rs_avg"), ("reorder", "ag_avg"),
+    )
+
+    def test_orderings_collide_under_the_old_key(self):
+        assert tuple(sorted(self.ORDER_A)) == tuple(sorted(self.ORDER_B))
+
+    def test_orderings_produce_different_plans(self):
+        tuner = Autotuner(Cluster(1))
+        prog = AdamWorkload.build(2**18, 16).program
+        sig_a = tuner._plan_signature(tuner._replay(prog, self.ORDER_A))
+        sig_b = tuner._plan_signature(tuner._replay(prog, self.ORDER_B))
+        assert sig_a != sig_b
+
+    def test_both_orderings_are_explored(self):
+        wl = AdamWorkload.build(2**18, 16)
+        result = Autotuner(Cluster(1)).tune(wl.program)
+        names = [c.name for c in result.candidates]
+        assert "split(avg) ; reorder(ag_avg) ; arfuse(rs_avg)" in names
+        assert "split(avg) ; arfuse(rs_avg) ; reorder(ag_avg)" in names
+
+    def test_order_dependent_schedules_time_differently(self):
+        # the two orderings are not cosmetic: they cost differently,
+        # so skipping one silently changed tuning results
+        wl = AdamWorkload.build(2**22, 16)
+        result = Autotuner(Cluster(1), prune=False).tune(wl.program)
+        by_name = {c.name: c.time for c in result.candidates}
+        t_a = by_name["split(avg) ; reorder(ag_avg) ; arfuse(rs_avg)"]
+        t_b = by_name["split(avg) ; arfuse(rs_avg) ; reorder(ag_avg)"]
+        assert t_a != t_b
+
+    def test_signature_is_replay_path_independent(self):
+        # fork-per-move and root replay create different numbers of
+        # auto-named intermediates; the structural signature must not
+        # see the difference
+        tuner = Autotuner(Cluster(1))
+        prog = AdamWorkload.build(2**18, 16).program
+        replayed = tuner._replay(prog, self.ORDER_A)
+        sched = tuner._fresh(prog)
+        for m in self.ORDER_A:
+            child = sched.fork()
+            tuner._apply(child, m)
+            sched = child
+        assert tuner._plan_signature(sched) == (
+            tuner._plan_signature(replayed)
+        )
+
+
+class TestScheduleFork:
+    def test_fork_isolates_parent_from_child_moves(self):
+        tuner = Autotuner(Cluster(1))
+        prog = AdamWorkload.build(2**18, 16).program
+        parent = tuner._fresh(prog)
+        sig_before = tuner._plan_signature(parent)
+        child = parent.fork()
+        tuner._apply(child, ("split", "avg"))
+        assert tuner._plan_signature(parent) == sig_before
+        assert tuner._plan_signature(child) != sig_before
+        assert len(parent.steps) < len(child.steps)
+
+    def test_fork_clones_blocks(self):
+        wl = AttentionWorkload.build(4, 256, 1024, 16)
+        sched = Schedule(wl.program)
+        from repro.core.transforms import ComputationFuse
+
+        sched.fuse(*wl.compute_ops, policy=ComputationFuse)
+        forked = sched.fork()
+        assert len(forked._blocks) == len(sched._blocks)
+        assert forked._blocks[0] is not sched._blocks[0]
+        assert forked._blocks[0].members == sched._blocks[0].members
+
+    def test_forked_schedule_times_identically(self):
+        wl = MoEWorkload.build(128, 512, 2048, 16)
+        sched = wl.schedule_overlapped()
+        pcm = ProgramCostModel(Cluster(1))
+        assert pcm.time(sched.fork()) == pcm.time(sched)
+
+
+class TestBaselineMode:
+    def test_baseline_uses_reference_engine_and_no_memo(self):
+        tuner = Autotuner(Cluster(1), baseline=True)
+        cost = tuner._factory(Cluster(1))
+        assert cost.engine.reference
+        assert not cost.memoize
+        assert not tuner.prune
+
+    def test_default_uses_heap_engine_and_memo(self):
+        tuner = Autotuner(Cluster(1))
+        cost = tuner._factory(Cluster(1))
+        assert not cost.engine.reference
+        assert cost.memoize

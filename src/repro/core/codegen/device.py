@@ -13,25 +13,38 @@ from typing import Dict, Sequence
 import numpy as np
 
 from repro.runtime.rng import dropout_mask  # noqa: F401  (re-export)
+from repro.runtime.world import check_divisible
 
 
-def slice_bounds(extent: int, index: int, parts: int):
-    """Half-open bounds of slice ``index`` of ``parts`` over ``extent``."""
-    step = extent // parts
+def slice_bounds(extent: int, index: int, parts: int, context: str = ""):
+    """Half-open bounds of slice ``index`` of ``parts`` over ``extent``.
+
+    Uneven extents raise instead of silently truncating the tail (which
+    would leave stale values in the untouched region); ``context`` names
+    the tensor/op for the error message.
+    """
+    step = check_divisible((extent,), 0, parts, context)
     return index * step, (index + 1) * step
 
 
-def take_slice(array: np.ndarray, dim: int, index: int, parts: int) -> np.ndarray:
-    lo, hi = slice_bounds(array.shape[dim], index, parts)
+def take_slice(
+    array: np.ndarray, dim: int, index: int, parts: int, context: str = ""
+) -> np.ndarray:
+    lo, hi = slice_bounds(array.shape[dim], index, parts, context)
     sl = [slice(None)] * array.ndim
     sl[dim] = slice(lo, hi)
     return array[tuple(sl)]
 
 
 def write_slice(
-    array: np.ndarray, dim: int, index: int, parts: int, value: np.ndarray
+    array: np.ndarray,
+    dim: int,
+    index: int,
+    parts: int,
+    value: np.ndarray,
+    context: str = "",
 ) -> None:
-    lo, hi = slice_bounds(array.shape[dim], index, parts)
+    lo, hi = slice_bounds(array.shape[dim], index, parts, context)
     sl = [slice(None)] * array.ndim
     sl[dim] = slice(lo, hi)
     array[tuple(sl)] = value
@@ -44,6 +57,7 @@ def update_storage(
     sliced_dim: "int | None",
     local_index: int,
     parts: int,
+    context: str = "",
 ) -> None:
     """Write an Update's value into a tensor's per-rank storage.
 
@@ -57,7 +71,7 @@ def update_storage(
     else:
         write_slice(
             storage[rank], sliced_dim, local_index, parts,
-            value.astype(dtype),
+            value.astype(dtype), context=context,
         )
 
 

@@ -4,6 +4,13 @@ Executes CoCoNet programs numerically on N simulated ranks with numpy
 arrays. Every transformed schedule must produce the same results as the
 original program here — this is the library's enforcement of the paper's
 "semantics preserving transformations".
+
+Two interchangeable backends: the default rank-major *vectorized* store
+(one stacked ``(num_ranks, *shape)`` array per tensor; collectives as
+single numpy expressions) and the original per-rank dict *reference*
+store (``Executor(reference=True)`` / ``SimWorld(n, reference=True)``),
+retained as the oracle the vectorized backend is property-tested
+bit-identical against.
 """
 
 from repro.runtime.executor import Executor, ProgramResult

@@ -5,6 +5,21 @@ original, split, reordered, fused or overlapped — must produce the same
 numbers here. Fusion and overlap do not change the DFG, so executing the
 DFG covers them; split and reorder rewrite the DFG, and their
 equivalence is what the tests verify against this executor.
+
+Two backends share the interpreter:
+
+* **Vectorized (default)** — rank-major evaluation: each expression's
+  value is one stacked ``(group.size, *per_rank_shape)`` array, every
+  collective is a single numpy expression over the stack, and
+  element-wise math runs once over all ranks (or once *total* when every
+  operand is provably rank-invariant — a stride-0 replicated view).
+* **Reference (``Executor(reference=True)``)** — the original per-rank
+  interpretation over dicts of arrays, kept as the oracle.
+
+The two backends are bit-identical (``np.array_equal`` on all outputs
+and tensor states): float64 accumulations happen in the same rank order
+over identically laid-out buffers, matmuls issue the same per-rank BLAS
+calls, and dropout draws the same counter-based masks.
 """
 
 from __future__ import annotations
@@ -19,7 +34,17 @@ from repro.core.program import Program
 from repro.core.tensor import Const, Expr, Scalar, Tensor
 from repro.errors import ExecutionError
 from repro.runtime import collectives, rng
-from repro.runtime.world import SimWorld, assemble_slices, slice_of
+from repro.runtime.world import (
+    SimWorld,
+    assemble_slices,
+    astype_stacked,
+    copy_stacked,
+    rank_invariant,
+    replicate,
+    scatter_axis,
+    slice_of,
+    unstack_global,
+)
 
 RankValues = Dict[int, np.ndarray]
 
@@ -60,42 +85,74 @@ class ProgramResult:
 
 
 class Executor:
-    """Interprets programs over a :class:`SimWorld`."""
+    """Interprets programs over a :class:`SimWorld`.
+
+    ``reference=True`` selects the original per-rank dict interpreter;
+    the default is the rank-major vectorized backend.
+    """
+
+    def __init__(self, reference: bool = False) -> None:
+        self.reference = reference
 
     def run(
-        self, program: Program, inputs: Mapping[str, np.ndarray]
+        self,
+        program: Program,
+        inputs: Mapping[str, np.ndarray],
+        allow_downcast: Optional[bool] = None,
     ) -> ProgramResult:
         world_size = program.inputs[0].group.world_size
-        world = SimWorld(world_size)
+        world = SimWorld(world_size, reference=self.reference)
         for t in program.inputs:
             if t.name not in inputs:
                 raise ExecutionError(f"missing input {t.name!r}")
-            world.place_input(t, np.asarray(inputs[t.name]))
+            world.place_input(
+                t, np.asarray(inputs[t.name]), allow_downcast=allow_downcast
+            )
         extra = set(inputs) - {t.name for t in program.inputs}
         if extra:
             raise ExecutionError(f"unknown inputs: {sorted(extra)}")
 
-        values: Dict[Expr, RankValues] = {}
         from repro.core import dfg
 
-        for e in dfg.topological(program.roots):
-            if isinstance(e, Const):
-                values[e] = {
-                    r: np.asarray(e.value, dtype=e.dtype.to_numpy())
-                    for r in e.group
-                }
-            elif isinstance(e, (Tensor, Scalar)):
-                # Snapshot: DFG edges to a leaf reference its value at
-                # program start, even if an Update later rewrites storage.
-                values[e] = {
-                    r: world.rank_value(e.name, r).copy() for r in e.group
-                }
-            else:
-                values[e] = self._eval(e, values, world)
-
-        outputs = {
-            o.name: self._assemble(o, values[o]) for o in program.outputs
-        }
+        exprs = dfg.topological(program.roots)
+        if self.reference:
+            values: Dict[Expr, RankValues] = {}
+            for e in exprs:
+                if isinstance(e, Const):
+                    values[e] = {
+                        r: np.asarray(e.value, dtype=e.dtype.to_numpy())
+                        for r in e.group
+                    }
+                elif isinstance(e, (Tensor, Scalar)):
+                    # Snapshot: DFG edges to a leaf reference its value at
+                    # program start, even if an Update later rewrites
+                    # storage.
+                    values[e] = {
+                        r: world.rank_value(e.name, r).copy() for r in e.group
+                    }
+                else:
+                    values[e] = self._eval(e, values, world)
+            outputs = {
+                o.name: self._assemble(o, values[o]) for o in program.outputs
+            }
+        else:
+            vvalues: Dict[Expr, np.ndarray] = {}
+            for e in exprs:
+                if isinstance(e, Const):
+                    vvalues[e] = replicate(
+                        np.asarray(e.value, dtype=e.dtype.to_numpy()),
+                        e.group.size,
+                    )
+                elif isinstance(e, (Tensor, Scalar)):
+                    # Storage arrays are replaced, never mutated in place,
+                    # so the snapshot can alias storage directly.
+                    vvalues[e] = world.state(e.name)
+                else:
+                    vvalues[e] = self._eval_vec(e, vvalues, world)
+            outputs = {
+                o.name: self._assemble_vec(o, vvalues[o])
+                for o in program.outputs
+            }
         states = {
             t.name: world.read_back(t)
             for t in program.inputs
@@ -103,7 +160,7 @@ class Executor:
         }
         return ProgramResult(outputs, states)
 
-    # -- helpers ---------------------------------------------------------
+    # -- shared helpers --------------------------------------------------
 
     @staticmethod
     def _assemble(e: Expr, per_rank: RankValues) -> np.ndarray:
@@ -115,24 +172,31 @@ class Executor:
             return assemble_slices([per_rank[r] for r in group], dim)
         return np.stack([per_rank[r] for r in group], axis=0)
 
+    @staticmethod
+    def _assemble_vec(e: Expr, stacked: np.ndarray) -> np.ndarray:
+        return unstack_global(stacked, e.layout, e.shape)
+
+    # -- reference backend -----------------------------------------------
+
     def _eval(
         self, e: Expr, values: Dict[Expr, RankValues], world: SimWorld
     ) -> RankValues:
         o = ops
         if isinstance(e, o.AllReduce):
-            return collectives.allreduce(
+            return collectives.allreduce_reference(
                 values[e.inputs[0]], e.group, e.reduction, e.dtype.to_numpy()
             )
         if isinstance(e, o.ReduceScatter):
-            return collectives.reducescatter(
+            return collectives.reducescatter_reference(
                 values[e.inputs[0]],
                 e.group,
                 e.reduction,
                 normalize_dim(e.layout.dim, len(e.shape)),
                 e.dtype.to_numpy(),
+                context=e.name,
             )
         if isinstance(e, o.AllGather):
-            gathered = collectives.allgather(
+            gathered = collectives.allgather_reference(
                 values[e.inputs[0]], e.group, e.dim
             )
             if e.writeback is not None:
@@ -144,20 +208,27 @@ class Executor:
             return gathered
         if isinstance(e, o.AllToAllPhase):
             fn = (
-                collectives.alltoall_intra
+                collectives.alltoall_intra_reference
                 if e.phase == "intra"
-                else collectives.alltoall_inter
+                else collectives.alltoall_inter_reference
             )
-            return fn(values[e.inputs[0]], e.group, e.dim, e.node_size)
+            return fn(
+                values[e.inputs[0]], e.group, e.dim, e.node_size,
+                context=e.name,
+            )
         if isinstance(e, o.AllToAll):
-            return collectives.alltoall(values[e.inputs[0]], e.group, e.dim)
+            return collectives.alltoall_reference(
+                values[e.inputs[0]], e.group, e.dim, context=e.name
+            )
         if isinstance(e, o.Reduce):
-            return collectives.reduce(
+            return collectives.reduce_reference(
                 values[e.inputs[0]], e.group, e.reduction, e.root,
                 e.dtype.to_numpy(),
             )
         if isinstance(e, o.Broadcast):
-            return collectives.broadcast(values[e.inputs[0]], e.group, e.root)
+            return collectives.broadcast_reference(
+                values[e.inputs[0]], e.group, e.root
+            )
         if isinstance(e, o.Send):
             return self._eval_send(e, values)
         if isinstance(e, o.MatMul):
@@ -228,7 +299,7 @@ class Executor:
         for r in e.group:
             full = values[e.inputs[0]][r]
             out[r] = slice_of(
-                full, dim, e.group.local_rank(r), e.group.size
+                full, dim, e.group.local_rank(r), e.group.size, context=e.name
             ).copy()
         return out
 
@@ -237,33 +308,11 @@ class Executor:
         is_norm = isinstance(e, ops.Norm)
         op = "+" if is_norm else e.reduction
         dtype = e.dtype.to_numpy()
-
-        def local_reduce(x: np.ndarray) -> np.ndarray:
-            x64 = x.astype(np.float64)
-            if is_norm:
-                return np.sum(x64 * x64)
-            if op == "+":
-                return np.sum(x64)
-            if op == "*":
-                return np.prod(x64)
-            if op == "max":
-                return np.max(x64)
-            return np.min(x64)
+        local_reduce = _local_reduce_fn(is_norm, op)
 
         if e.crosses_ranks:
             partials = {r: local_reduce(x_values[r]) for r in e.group}
-            if op in ("+", "*"):
-                total = (
-                    np.sum(list(partials.values()))
-                    if op == "+"
-                    else np.prod(list(partials.values()))
-                )
-            elif op == "max":
-                total = np.max(list(partials.values()))
-            else:
-                total = np.min(list(partials.values()))
-            if is_norm:
-                total = np.sqrt(total)
+            total = _combine_partials(list(partials.values()), is_norm, op)
             return {r: np.asarray(total).astype(dtype) for r in e.group}
         out: RankValues = {}
         for r in e.group:
@@ -295,6 +344,249 @@ class Executor:
             else:
                 store[r] = new.copy()
         return out
+
+    # -- vectorized backend ----------------------------------------------
+
+    def _eval_vec(
+        self, e: Expr, values: Dict[Expr, np.ndarray], world: SimWorld
+    ) -> np.ndarray:
+        o = ops
+        if isinstance(e, o.AllReduce):
+            return collectives.allreduce_vectorized(
+                values[e.inputs[0]], e.group, e.reduction, e.dtype.to_numpy()
+            )
+        if isinstance(e, o.ReduceScatter):
+            return collectives.reducescatter_vectorized(
+                values[e.inputs[0]],
+                e.group,
+                e.reduction,
+                normalize_dim(e.layout.dim, len(e.shape)),
+                e.dtype.to_numpy(),
+                context=e.name,
+            )
+        if isinstance(e, o.AllGather):
+            gathered = collectives.allgather_vectorized(
+                values[e.inputs[0]], e.group, e.dim
+            )
+            if e.writeback is not None:
+                wb = e.writeback
+                world.set_state(
+                    wb.name,
+                    replicate(
+                        gathered[0].astype(wb.dtype.to_numpy()), e.group.size
+                    ),
+                    wb.group,
+                )
+            return gathered
+        if isinstance(e, o.AllToAllPhase):
+            fn = (
+                collectives.alltoall_intra_vectorized
+                if e.phase == "intra"
+                else collectives.alltoall_inter_vectorized
+            )
+            return fn(
+                values[e.inputs[0]], e.group, e.dim, e.node_size,
+                context=e.name,
+            )
+        if isinstance(e, o.AllToAll):
+            return collectives.alltoall_vectorized(
+                values[e.inputs[0]], e.group, e.dim, context=e.name
+            )
+        if isinstance(e, o.Reduce):
+            return collectives.reduce_vectorized(
+                values[e.inputs[0]], e.group, e.reduction, e.root,
+                e.dtype.to_numpy(),
+            )
+        if isinstance(e, o.Broadcast):
+            return collectives.broadcast_vectorized(
+                values[e.inputs[0]], e.group, e.root
+            )
+        if isinstance(e, o.Send):
+            # Same local rank in the destination group: row order carries
+            # over unchanged.
+            return copy_stacked(values[e.inputs[0]])
+        if isinstance(e, o.MatMul):
+            return self._matmul_vec(e, values)
+        if isinstance(e, o.Conv2D):
+            return self._conv_vec(e, values)
+        if isinstance(e, o.Binary):
+            return self._elementwise_vec(e, values, _BINARY_FNS[e.op])
+        if isinstance(e, o.Unary):
+            return self._elementwise_vec(e, values, _UNARY_FNS[e.op])
+        if isinstance(e, o.Dropout):
+            return self._eval_dropout_vec(e, values)
+        if isinstance(e, o.Cast):
+            return self._elementwise_vec(e, values, lambda x: x)
+        if isinstance(e, o.Slice):
+            return self._eval_slice_vec(e, values)
+        if isinstance(e, (o.Norm, o.ReduceTensor)):
+            return self._eval_reduction_vec(e, values)
+        if isinstance(e, o.Update):
+            return self._eval_update_vec(e, values, world)
+        raise ExecutionError(f"cannot execute {type(e).__name__}")
+
+    def _elementwise_vec(self, e: Expr, values, fn) -> np.ndarray:
+        args = [values[i] for i in e.inputs]
+        n = e.group.size
+        dtype = e.dtype.to_numpy()
+        if all(rank_invariant(a) for a in args):
+            # Replicated math: compute one representative rank, O(1) fan
+            # back out. Per-rank results on identical inputs are
+            # identical, so this is bit-equal to the stacked evaluation.
+            out = np.asarray(fn(*[a[0] for a in args])).astype(dtype)
+            return replicate(out, n)
+        target = max(a.ndim - 1 for a in args)
+        aligned = []
+        for a in args:
+            # Insert singleton axes after the rank axis so per-rank
+            # broadcasting (trailing-dim aligned) is preserved.
+            while a.ndim - 1 < target:
+                a = a[:, None]
+            aligned.append(a)
+        return np.asarray(fn(*aligned)).astype(dtype)
+
+    def _matmul_vec(self, e: ops.MatMul, values) -> np.ndarray:
+        a, b = (values[i] for i in e.inputs)
+        n = e.group.size
+        dtype = e.dtype.to_numpy()
+        if rank_invariant(a) and rank_invariant(b):
+            out = np.asarray(np.matmul(a[0], b[0])).astype(dtype)
+            return replicate(out, n)
+        # Per-rank BLAS calls (not one batched matmul) keep the result
+        # bit-identical to the reference backend's per-rank gemms.
+        rows = [
+            np.asarray(
+                np.matmul(
+                    np.ascontiguousarray(a[i]), np.ascontiguousarray(b[i])
+                )
+            ).astype(dtype)
+            for i in range(n)
+        ]
+        return np.stack(rows, axis=0)
+
+    def _conv_vec(self, e: ops.Conv2D, values) -> np.ndarray:
+        x, w = (values[i] for i in e.inputs)
+        n = e.group.size
+        dtype = e.dtype.to_numpy()
+        if rank_invariant(x) and rank_invariant(w):
+            out = _conv2d(x[0], w[0], e.stride, e.padding).astype(dtype)
+            return replicate(out, n)
+        rows = [
+            _conv2d(x[i], w[i], e.stride, e.padding).astype(dtype)
+            for i in range(n)
+        ]
+        return np.stack(rows, axis=0)
+
+    def _eval_dropout_vec(self, e: ops.Dropout, values) -> np.ndarray:
+        x = values[e.inputs[0]]
+        n = e.group.size
+        dtype = e.dtype.to_numpy()
+        if e.layout.is_sliced:
+            # Per-rank masks are slices of the full counter-based mask —
+            # the sliced-dropout determinism the reorder transform relies
+            # on — so one mask evaluation serves all ranks.
+            dim = normalize_dim(e.layout.dim, len(e.shape))
+            full_mask = rng.dropout_mask(e.seed, e.prob, e.shape)
+            mask = scatter_axis(full_mask, dim, n, context=e.name)
+            return (x.astype(np.float64) * mask).astype(dtype)
+        mask = rng.dropout_mask(e.seed, e.prob, e.shape)
+        if rank_invariant(x):
+            out = (x[0].astype(np.float64) * mask).astype(dtype)
+            return replicate(out, n)
+        return (x.astype(np.float64) * mask).astype(dtype)
+
+    def _eval_slice_vec(self, e: ops.Slice, values) -> np.ndarray:
+        dim = normalize_dim(e.layout.dim, len(e.shape))
+        x = values[e.inputs[0]]
+        n = e.group.size
+        if rank_invariant(x):
+            return np.ascontiguousarray(
+                scatter_axis(x[0], dim, n, context=e.name)
+            )
+        rows = [
+            slice_of(x[i], dim, i, n, context=e.name) for i in range(n)
+        ]
+        return np.stack(rows, axis=0)
+
+    def _eval_reduction_vec(self, e: Expr, values) -> np.ndarray:
+        x = values[e.inputs[0]]
+        n = e.group.size
+        is_norm = isinstance(e, ops.Norm)
+        op = "+" if is_norm else e.reduction
+        dtype = e.dtype.to_numpy()
+        local_reduce = _local_reduce_fn(is_norm, op)
+
+        if e.crosses_ranks:
+            # Row-wise partials in rank order, combined exactly as the
+            # reference does, keep the float64 accumulation bit-identical.
+            partials = [local_reduce(x[i]) for i in range(n)]
+            total = _combine_partials(partials, is_norm, op)
+            return replicate(np.asarray(total).astype(dtype), n)
+        if rank_invariant(x):
+            v = local_reduce(x[0])
+            if is_norm:
+                v = np.sqrt(v)
+            return replicate(np.asarray(v).astype(dtype), n)
+        rows = []
+        for i in range(n):
+            v = local_reduce(x[i])
+            if is_norm:
+                v = np.sqrt(v)
+            rows.append(np.asarray(v).astype(dtype))
+        return np.stack(rows, axis=0)
+
+    def _eval_update_vec(
+        self, e: ops.Update, values, world: SimWorld
+    ) -> np.ndarray:
+        target = e.target
+        dtype = target.dtype.to_numpy()
+        out = astype_stacked(values[e.inputs[0]], dtype)
+        if e.layout.is_sliced and target.layout.is_replicated:
+            # Write each rank's slice into a fresh copy of the full-size
+            # storage (np.array materializes replicated views); the rest
+            # becomes valid when an AllGather writes back.
+            dim = normalize_dim(e.layout.dim, len(e.shape))
+            full = np.array(world.state(target.name))
+            n = e.group.size
+            extent = full.shape[dim + 1] // n
+            for i in range(n):
+                idx = [slice(None)] * full.ndim
+                idx[0] = i
+                idx[dim + 1] = slice(i * extent, (i + 1) * extent)
+                full[tuple(idx)] = out[i]
+            world.set_state(target.name, full)
+        else:
+            # Replace, never mutate: snapshots taken earlier stay valid.
+            world.set_state(target.name, out, e.group)
+        return out
+
+
+def _local_reduce_fn(is_norm: bool, op: str):
+    def local_reduce(x: np.ndarray) -> np.ndarray:
+        x64 = x.astype(np.float64)
+        if is_norm:
+            return np.sum(x64 * x64)
+        if op == "+":
+            return np.sum(x64)
+        if op == "*":
+            return np.prod(x64)
+        if op == "max":
+            return np.max(x64)
+        return np.min(x64)
+
+    return local_reduce
+
+
+def _combine_partials(partials, is_norm: bool, op: str):
+    if op in ("+", "*"):
+        total = np.sum(partials) if op == "+" else np.prod(partials)
+    elif op == "max":
+        total = np.max(partials)
+    else:
+        total = np.min(partials)
+    if is_norm:
+        total = np.sqrt(total)
+    return total
 
 
 def _conv2d(x: np.ndarray, w: np.ndarray, stride: int, padding: int) -> np.ndarray:

@@ -1,32 +1,67 @@
-"""The simulated world: per-rank tensor storage.
+"""The simulated world: tensor storage for N ranks.
 
-A :class:`SimWorld` holds one numpy array per (rank, tensor-name) pair —
-the stand-in for each GPU's global memory. Input preparation distributes
-a *global* array according to the tensor's layout: replicated tensors
-are copied to every rank, sliced tensors are partitioned along their
-slice dimension, and local tensors take per-rank values stacked on a
-leading axis.
+Two storage backends share one API:
+
+* **Vectorized (default)** — rank-major storage: one stacked numpy array
+  of shape ``(group.size, *per_rank_shape)`` per tensor, axis 0 indexing
+  the local ranks of the tensor's group. Collectives and element-wise
+  computation become single numpy expressions over the stack (see
+  :mod:`repro.runtime.collectives`), and replicated values are stored as
+  stride-0 broadcast views of a single per-rank array, so rank-invariant
+  work is done once instead of once per rank.
+* **Reference (``SimWorld(num_ranks, reference=True)``)** — the original
+  dict of per-rank arrays, one ``np.ndarray`` per (rank, tensor-name)
+  pair. Retained as the oracle the vectorized backend is property-tested
+  bit-identical against.
+
+Input preparation distributes a *global* array according to the tensor's
+layout: replicated tensors are visible on every rank, sliced tensors are
+partitioned along their slice dimension, and local tensors take per-rank
+values stacked on a leading axis.
+
+Rank-major storage invariant: stacked arrays are never mutated in place.
+Updates *replace* a tensor's array (copying first when they must write
+per-rank slices), which is what lets leaf snapshots and replicated
+broadcast views alias storage safely.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+import warnings
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.core.layout import normalize_dim
-from repro.core.tensor import Expr, Tensor
+from repro.core.process_group import ProcessGroup
+from repro.core.tensor import Expr
 from repro.errors import ExecutionError
 
 
-def slice_of(array: np.ndarray, dim: int, index: int, parts: int) -> np.ndarray:
-    """The ``index``-th of ``parts`` equal slices of ``array`` along ``dim``."""
-    extent = array.shape[dim]
+def context_suffix(context: str) -> str:
+    """``" (in <name>)"`` — appended to sharding errors so uneven-split
+    mistakes are attributable to a tensor/op from the message alone."""
+    return f" (in {context})" if context else ""
+
+
+def check_divisible(
+    shape: Sequence[int], dim: int, parts: int, context: str = ""
+) -> int:
+    """Assert ``shape[dim]`` splits into ``parts``; return the step."""
+    extent = shape[dim]
     if extent % parts != 0:
         raise ExecutionError(
-            f"dim {dim} of shape {array.shape} not divisible into {parts} parts"
+            f"dim {dim} of shape {tuple(shape)} not divisible into "
+            f"{parts} parts{context_suffix(context)}"
         )
-    step = extent // parts
+    return extent // parts
+
+
+def slice_of(
+    array: np.ndarray, dim: int, index: int, parts: int, context: str = ""
+) -> np.ndarray:
+    """The ``index``-th of ``parts`` equal slices of ``array`` along ``dim``."""
+    step = check_divisible(array.shape, dim, parts, context)
     sl = [slice(None)] * array.ndim
     sl[dim] = slice(index * step, (index + 1) * step)
     return array[tuple(sl)]
@@ -37,37 +72,188 @@ def assemble_slices(parts: Sequence[np.ndarray], dim: int) -> np.ndarray:
     return np.concatenate(list(parts), axis=dim)
 
 
-class SimWorld:
-    """Per-rank storage for a simulated run."""
+# ---------------------------------------------------------------------------
+# Rank-major (stacked) helpers — shared by the vectorized collectives and
+# the vectorized executor.
+# ---------------------------------------------------------------------------
 
-    def __init__(self, num_ranks: int) -> None:
+
+def replicate(base: np.ndarray, num_ranks: int) -> np.ndarray:
+    """A read-only ``(num_ranks, *base.shape)`` stride-0 view of ``base``.
+
+    The rank-major representation of a replicated value: every rank's row
+    aliases the same memory, so producing it is O(1) and downstream code
+    can detect the invariance (see :func:`rank_invariant`) to compute on
+    a single representative rank.
+    """
+    base = np.asarray(base)
+    return np.broadcast_to(base, (num_ranks,) + base.shape)
+
+
+def rank_invariant(stacked: np.ndarray) -> bool:
+    """True when every rank's row provably aliases the same data.
+
+    Detected via the stride-0 leading axis that :func:`replicate`
+    produces. A ``False`` answer does not mean rows differ — only that
+    they are stored separately.
+    """
+    return stacked.ndim > 0 and stacked.strides[0] == 0
+
+
+def scatter_axis(
+    array: np.ndarray, dim: int, parts: int, context: str = ""
+) -> np.ndarray:
+    """View ``array`` as its ``parts`` equal slices along ``dim``, stacked.
+
+    The rank-major equivalent of ``[slice_of(array, dim, i, parts) for i
+    in range(parts)]``: a reshape plus axis move, no data copied. The
+    result has shape ``(parts, *slice_shape)``.
+    """
+    step = check_divisible(array.shape, dim, parts, context)
+    view = array.reshape(
+        array.shape[:dim] + (parts, step) + array.shape[dim + 1 :]
+    )
+    return np.moveaxis(view, dim, 0)
+
+
+def gather_axis(stacked: np.ndarray, dim: int) -> np.ndarray:
+    """Merge a ``(parts, *slice_shape)`` stack back along ``dim``.
+
+    Inverse of :func:`scatter_axis`; equals concatenating the rows along
+    ``dim`` in rank order.
+    """
+    moved = np.moveaxis(stacked, 0, dim)
+    shape = (
+        moved.shape[:dim]
+        + (moved.shape[dim] * moved.shape[dim + 1],)
+        + moved.shape[dim + 2 :]
+    )
+    return moved.reshape(shape)
+
+
+def unstack_global(stacked: np.ndarray, layout, shape) -> np.ndarray:
+    """Reassemble a stacked value into its global array, for callers.
+
+    The single result boundary of the vectorized backend (program
+    outputs and ``read_back`` tensor states). The returned array never
+    aliases the stack — matching the reference backend, whose assembled
+    results are always independent copies — and is always writable, so
+    internal stride-0 replicated views never leak.
+    """
+    if layout.is_replicated:
+        base = stacked[0]
+    elif layout.is_sliced:
+        base = gather_axis(stacked, normalize_dim(layout.dim, len(shape)))
+    else:
+        base = np.ascontiguousarray(stacked)
+    if np.may_share_memory(base, stacked):
+        base = base.copy()
+    return base
+
+
+def copy_stacked(stacked: np.ndarray) -> np.ndarray:
+    """Snapshot a stacked value, preserving replicated stride-0 views."""
+    if rank_invariant(stacked):
+        return replicate(stacked[0].copy(), stacked.shape[0])
+    return stacked.copy()
+
+
+def astype_stacked(stacked: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Cast a stacked value, preserving replicated stride-0 views."""
+    if rank_invariant(stacked):
+        return replicate(stacked[0].astype(dtype), stacked.shape[0])
+    return stacked.astype(dtype)
+
+
+# ---------------------------------------------------------------------------
+# Lossy-downcast detection for input placement.
+# ---------------------------------------------------------------------------
+
+
+def _dtype_lossy(src: np.dtype, dst: np.dtype) -> bool:
+    """Is a ``src`` → ``dst`` cast a precision-losing downcast?
+
+    float64 → float32 is the simulator's standard working precision
+    (every test feeds ``randn`` float64 into FP32 tensors) and stays
+    silent; casts to below-single-precision floats (FP16) and casts that
+    numpy itself calls unsafe across kinds (float → int, narrowing int)
+    are flagged.
+    """
+    src, dst = np.dtype(src), np.dtype(dst)
+    if src == dst or np.can_cast(src, dst, casting="safe"):
+        return False
+    if src.kind in "fc" and dst.kind in "fc":
+        return dst.itemsize < 4
+    return True
+
+
+class SimWorld:
+    """Tensor storage for a simulated run.
+
+    ``reference=True`` selects the original per-rank dict storage (the
+    oracle); the default is the rank-major stacked representation.
+    """
+
+    def __init__(self, num_ranks: int, reference: bool = False) -> None:
         if num_ranks <= 0:
             raise ExecutionError("world needs at least one rank")
         self.num_ranks = num_ranks
+        self.reference = reference
+        #: reference backend: name -> {global rank -> ndarray}
         self.storage: Dict[str, Dict[int, np.ndarray]] = {}
+        #: vectorized backend: name -> (group.size, *per_rank_shape)
+        self._state: Dict[str, np.ndarray] = {}
+        self._groups: Dict[str, ProcessGroup] = {}
 
-    def place_input(self, tensor: Expr, value: np.ndarray) -> None:
+    # -- input placement ----------------------------------------------------
+
+    def _checked_cast(
+        self, tensor: Expr, value: np.ndarray, allow_downcast: Optional[bool]
+    ) -> np.ndarray:
+        """Cast an input to the tensor dtype, policing lossy downcasts.
+
+        ``allow_downcast=True`` casts silently, ``False`` raises on a
+        value-changing lossy downcast, and ``None`` (the default) warns.
+        """
+        value = np.asarray(value)
+        target = tensor.dtype.to_numpy()
+        if allow_downcast is not True and _dtype_lossy(value.dtype, target):
+            cast = value.astype(target)
+            if not np.array_equal(
+                cast.astype(value.dtype), value, equal_nan=True
+            ):
+                msg = (
+                    f"placing input {tensor.name!r}: lossy downcast "
+                    f"{value.dtype} -> {target} changes values; pass "
+                    f"allow_downcast=True to accept"
+                )
+                if allow_downcast is False:
+                    raise ExecutionError(msg)
+                warnings.warn(msg, RuntimeWarning, stacklevel=3)
+            return cast
+        return value.astype(target) if value.dtype != target else value
+
+    def place_input(
+        self,
+        tensor: Expr,
+        value: np.ndarray,
+        allow_downcast: Optional[bool] = None,
+    ) -> None:
         """Distribute a global input array according to the tensor layout."""
-        value = np.asarray(value, dtype=tensor.dtype.to_numpy())
+        value = self._checked_cast(tensor, value, allow_downcast)
         group = tensor.group
-        per_rank: Dict[int, np.ndarray] = {}
         if tensor.layout.is_replicated:
             if tuple(value.shape) != tensor.shape:
                 raise ExecutionError(
                     f"{tensor.name}: expected shape {tensor.shape}, "
                     f"got {value.shape}"
                 )
-            for r in group:
-                per_rank[r] = value.copy()
         elif tensor.layout.is_sliced:
             if tuple(value.shape) != tensor.shape:
                 raise ExecutionError(
                     f"{tensor.name}: expected global shape {tensor.shape}, "
                     f"got {value.shape}"
                 )
-            dim = normalize_dim(tensor.layout.dim, len(tensor.shape))
-            for i, r in enumerate(group):
-                per_rank[r] = slice_of(value, dim, i, group.size).copy()
         else:  # local: leading axis indexes ranks of the group
             expected = (group.size,) + tensor.shape
             if tuple(value.shape) != expected:
@@ -75,25 +261,93 @@ class SimWorld:
                     f"{tensor.name} is local: expected shape {expected} "
                     f"(group size leading), got {value.shape}"
                 )
+        if self.reference:
+            self._place_reference(tensor, value)
+        else:
+            self._place_stacked(tensor, value)
+
+    def _place_reference(self, tensor: Expr, value: np.ndarray) -> None:
+        group = tensor.group
+        per_rank: Dict[int, np.ndarray] = {}
+        if tensor.layout.is_replicated:
+            for r in group:
+                per_rank[r] = value.copy()
+        elif tensor.layout.is_sliced:
+            dim = normalize_dim(tensor.layout.dim, len(tensor.shape))
+            for i, r in enumerate(group):
+                per_rank[r] = slice_of(
+                    value, dim, i, group.size, context=tensor.name
+                ).copy()
+        else:
             for i, r in enumerate(group):
                 per_rank[r] = value[i].copy()
         self.storage[tensor.name] = per_rank
 
-    def read_back(self, tensor: Expr) -> np.ndarray:
-        """Reassemble a tensor's global value from per-rank storage."""
-        per_rank = self.storage[tensor.name]
+    def _place_stacked(self, tensor: Expr, value: np.ndarray) -> None:
         group = tensor.group
         if tensor.layout.is_replicated:
-            return per_rank[group.start]
-        if tensor.layout.is_sliced:
+            stacked = replicate(value.copy(), group.size)
+        elif tensor.layout.is_sliced:
             dim = normalize_dim(tensor.layout.dim, len(tensor.shape))
-            return assemble_slices([per_rank[r] for r in group], dim)
-        return np.stack([per_rank[r] for r in group], axis=0)
+            # .copy() (not ascontiguousarray) so storage never aliases the
+            # caller's input array, matching the reference per-slice copies.
+            stacked = scatter_axis(
+                value, dim, group.size, context=tensor.name
+            ).copy()
+        else:
+            stacked = value.copy()
+        self.set_state(tensor.name, stacked, group)
+
+    # -- vectorized state accessors -----------------------------------------
+
+    def state(self, name: str) -> np.ndarray:
+        """The stacked ``(group.size, *per_rank_shape)`` array of a tensor."""
+        try:
+            return self._state[name]
+        except KeyError:
+            raise ExecutionError(f"no value for tensor {name!r}") from None
+
+    def set_state(
+        self, name: str, stacked: np.ndarray, group: Optional[ProcessGroup] = None
+    ) -> None:
+        """Replace a tensor's stacked array (never mutate one in place)."""
+        if group is not None:
+            self._groups[name] = group
+        elif name not in self._groups:
+            raise ExecutionError(f"no group recorded for tensor {name!r}")
+        self._state[name] = stacked
+
+    # -- shared accessors ----------------------------------------------------
+
+    def read_back(self, tensor: Expr) -> np.ndarray:
+        """Reassemble a tensor's global value from its storage."""
+        if self.reference:
+            per_rank = self.storage[tensor.name]
+            group = tensor.group
+            if tensor.layout.is_replicated:
+                return per_rank[group.start]
+            if tensor.layout.is_sliced:
+                dim = normalize_dim(tensor.layout.dim, len(tensor.shape))
+                return assemble_slices([per_rank[r] for r in group], dim)
+            return np.stack([per_rank[r] for r in group], axis=0)
+        return unstack_global(
+            self.state(tensor.name), tensor.layout, tensor.shape
+        )
 
     def rank_value(self, name: str, rank: int) -> np.ndarray:
+        """One rank's current value of a tensor (either backend)."""
+        if self.reference:
+            try:
+                return self.storage[name][rank]
+            except KeyError:
+                raise ExecutionError(
+                    f"no value for tensor {name!r} on rank {rank}"
+                ) from None
+        stacked = self.state(name)
         try:
-            return self.storage[name][rank]
-        except KeyError:
+            local = self._groups[name].local_rank(rank)
+        except Exception:
             raise ExecutionError(
                 f"no value for tensor {name!r} on rank {rank}"
             ) from None
+        return stacked[local]

@@ -94,7 +94,15 @@ class TestReduceBroadcast:
         out = collectives.reduce(vals, world(4), "+", 1, np.float32)
         total = sum(vals[r].astype(np.float64) for r in range(4))
         np.testing.assert_allclose(out[1], total.astype(np.float32))
-        np.testing.assert_array_equal(out[0], np.zeros(4, np.float32))
+
+    def test_reduce_non_root_keeps_input(self, rng):
+        # NCCL leaves non-root receive buffers unmodified; zero-filling
+        # them could launder a schedule that wrongly reads a non-root
+        # buffer into an all-zero "correct-looking" result.
+        vals = _values(rng, 4, (4,))
+        out = collectives.reduce(vals, world(4), "+", 1, np.float32)
+        for r in (0, 2, 3):
+            np.testing.assert_array_equal(out[r], vals[r])
 
     def test_broadcast_from_root(self, rng):
         vals = _values(rng, 4, (4,))

@@ -285,3 +285,47 @@ class TestCommOps:
         res = Executor().run(prog, {"a": np.zeros(4)})
         with pytest.raises(ExecutionError, match="no output named"):
             res.output("nope")
+
+
+class TestReferenceBackend:
+    """`Executor(reference=True)` keeps the per-rank dict semantics."""
+
+    def test_reduce_non_root_keeps_input(self, rng):
+        # regression: reduce used to zero-fill non-root ranks; NCCL (and
+        # now this runtime) leaves non-root buffers unmodified, so a
+        # post-reduce read on a non-root rank sees the original data
+        W = world(4)
+        a = Tensor(FP32, (4,), Local, W, RANK, name="a")
+        red = Reduce("+", a, root=1, name="red")
+        prog = Execute("p", [a], [red])
+        av = rng.randn(4, 4).astype(np.float32)
+        for reference in (True, False):
+            out = Executor(reference=reference).run(
+                prog, {"a": av}
+            ).output("red")
+            np.testing.assert_array_equal(out[0], av[0])
+            np.testing.assert_array_equal(out[3], av[3])
+
+    def test_update_and_snapshot_semantics_match_default(self, rng):
+        W = world(2)
+        p = Tensor(FP32, (4,), Replicated, W, name="p")
+        u = Update(p, p * 2.0, name="u")
+        later = Binary("+", p, 0.0, name="later")
+        prog = Execute("p", [p], [later], effects=[u])
+        pv = rng.randn(4)
+        ref = Executor(reference=True).run(prog, {"p": pv})
+        vec = Executor().run(prog, {"p": pv})
+        np.testing.assert_array_equal(ref.output("later"), vec.output("later"))
+        np.testing.assert_array_equal(
+            ref.tensor_state("p"), vec.tensor_state("p")
+        )
+
+    def test_allow_downcast_threads_through_run(self, rng):
+        W = world(2)
+        p = Tensor(FP16, (4,), Replicated, W, name="p")
+        prog = Execute("p", [p], [p + 0.0])
+        for reference in (True, False):
+            with pytest.raises(ExecutionError, match="lossy downcast"):
+                Executor(reference=reference).run(
+                    prog, {"p": rng.randn(4)}, allow_downcast=False
+                )

@@ -17,6 +17,14 @@ vectorized backend must be at least ``ADAM_SPEEDUP_FLOOR``x faster on
 the GPT-3-scale Adam step at 64 ranks (replicated optimizer math that
 the reference interprets once per rank, 64x over).
 
+The same pass also measures the *lowered* interpreter
+(``Executor.run_lowered``, which executes the shared
+``repro.core.lower`` instruction stream — overlap groups chunk-by-chunk,
+fused blocks as units) against the DFG interpreter on every schedule,
+asserts bit-identical results, and emits ``BENCH_lowering.json`` with
+the measured per-schedule overhead and the number of overlap groups that
+actually executed at chunk granularity.
+
 Usage::
 
     PYTHONPATH=src:. python benchmarks/bench_runtime.py          # full
@@ -45,10 +53,9 @@ from repro.workloads.pipeline import PipelineWorkload
 #: acceptance bar: vectorized speedup on the GPT-3-scale Adam at 64 ranks
 ADAM_SPEEDUP_FLOOR = 3.0
 
-JSON_PATH = os.path.join(
-    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_runtime.json",
-)
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(_ROOT, "BENCH_runtime.json")
+LOWERING_JSON_PATH = os.path.join(_ROOT, "BENCH_lowering.json")
 
 
 def _cast_inputs(program, inputs: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
@@ -173,16 +180,35 @@ def _time_run(executor, program, inputs, repeats: int):
     return best, result
 
 
-def run_workload(name: str, build: Callable, repeats: int) -> dict:
+def _time_lowered(executor, sched, inputs, repeats: int, trace=None):
+    """Best-of-N lowered runs; the first collects the instruction trace
+    (list appends are negligible next to the numpy work, and an extra
+    untimed run at GPT-3 scale would cost seconds and gigabytes)."""
+    best, result = float("inf"), None
+    for i in range(repeats):
+        t0 = time.perf_counter()
+        result = executor.run_lowered(
+            sched, inputs, trace=trace if i == 0 else None
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def run_workload(
+    name: str, build: Callable, repeats: int, lowering: dict
+) -> dict:
+    from repro.core.transforms import Schedule
+
     wl, raw_inputs = build()
-    schedules = {"original": None}
+    schedules = {"original": Schedule(wl.program)}
     schedules.update(wl.schedules())
     entry = {
         "num_ranks": wl.program.inputs[0].group.world_size,
         "schedules": {},
     }
+    low_entry: Dict[str, dict] = {}
     for sched_name, sched in schedules.items():
-        program = wl.program if sched is None else sched.program
+        program = sched.program
         inputs = _cast_inputs(program, raw_inputs)
         vec_s, vec = _time_run(Executor(), program, inputs, repeats)
         ref_s, ref = _time_run(
@@ -194,6 +220,23 @@ def run_workload(name: str, build: Callable, repeats: int) -> dict:
             "vectorized_s": vec_s,
             "speedup": ref_s / vec_s if vec_s > 0 else float("inf"),
         }
+        # lowered interpreter: same inputs, plan-aware execution; must
+        # stay bit-identical to the DFG interpretation
+        trace: list = []
+        low_s, low = _time_lowered(
+            Executor(), sched, inputs, repeats, trace=trace
+        )
+        _assert_equal_results(
+            low, vec, program, f"{name}/{sched_name} (lowered)"
+        )
+        chunk_events = sum(1 for ev in trace if ev[0] == "chunk")
+        low_entry[sched_name] = {
+            "dfg_s": vec_s,
+            "lowered_s": low_s,
+            "overhead": low_s / vec_s if vec_s > 0 else float("inf"),
+            "chunk_events": chunk_events,
+        }
+    lowering[name] = low_entry
     return entry
 
 
@@ -212,9 +255,10 @@ def main() -> None:
         "equal_outputs": True,  # every pair below is array_equal-asserted
         "workloads": {},
     }
+    lowering: Dict[str, dict] = {}
     rows = []
     for name, build in workload_suite(args.smoke).items():
-        entry = run_workload(name, build, repeats)
+        entry = run_workload(name, build, repeats, lowering)
         report["workloads"][name] = entry
         for sched_name, timing in entry["schedules"].items():
             rows.append([
@@ -254,6 +298,41 @@ def main() -> None:
     with open(JSON_PATH, "w") as f:
         json.dump(report, f, indent=2)
     print(f"\nwrote {JSON_PATH}")
+
+    # lowered-vs-DFG interpreter comparison (every pair above was
+    # asserted bit-identical before timing)
+    chunked_groups = sum(
+        1
+        for wl_entry in lowering.values()
+        for timing in wl_entry.values()
+        if timing["chunk_events"] > 0
+    )
+    overheads = [
+        timing["overhead"]
+        for wl_entry in lowering.values()
+        for timing in wl_entry.values()
+    ]
+    lowering_report = {
+        "mode": report["mode"],
+        "equal_outputs": True,
+        "workloads": lowering,
+        "schedules_with_chunked_execution": chunked_groups,
+        "median_overhead": sorted(overheads)[len(overheads) // 2],
+        "max_overhead": max(overheads),
+    }
+    assert chunked_groups >= 1, (
+        "no overlap schedule executed chunk-by-chunk under the lowered "
+        "interpreter"
+    )
+    with open(LOWERING_JSON_PATH, "w") as f:
+        json.dump(lowering_report, f, indent=2)
+    print(
+        f"lowered interpreter: median overhead "
+        f"{lowering_report['median_overhead']:.2f}x vs the DFG "
+        f"interpreter, {chunked_groups} schedules executed "
+        f"chunk-by-chunk; all runs bit-identical"
+    )
+    print(f"wrote {LOWERING_JSON_PATH}")
     if not args.smoke:
         # equal-output assertions above run in both modes; the timing
         # floor only gates full runs (smoke's single repeat on tiny

@@ -65,6 +65,14 @@ from repro.core.ops import (
 from repro.core.process_group import RANK, ProcessGroup, split_world, world
 from repro.core.program import Execute, Program
 from repro.core.tensor import Const, Expr, Scalar, Tensor, reset_names
+from repro.core.lower import (  # noqa: E402  (needs ops/tensor above)
+    ChunkLoop,
+    CollectiveStep,
+    LocalCompute,
+    LoweredProgram,
+    PackScattered,
+    lower,
+)
 
 __all__ = [
     # dtypes
@@ -83,4 +91,7 @@ __all__ = [
     "CommOp", "ComputeOp", "PointwiseOp",
     # programs
     "Execute", "Program",
+    # lowering (the shared instruction IR)
+    "lower", "LoweredProgram", "LocalCompute", "CollectiveStep",
+    "PackScattered", "ChunkLoop",
 ]

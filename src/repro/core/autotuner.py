@@ -271,18 +271,22 @@ class Autotuner:
 
     # -- canonical dedup key ------------------------------------------------
 
-    @staticmethod
-    def _plan_signature(sched: Schedule) -> Tuple:
-        """Canonical execution-plan key: what actually runs, not how we
-        got there.
+    def _plan_signature(self, sched: Schedule) -> Tuple:
+        """Canonical lowered-execution key: what actually runs, not how
+        we got there.
 
-        Two move scripts that produce the same kernels (kind + member
-        ops + dataflow) in the same order with the same overlap
-        structure are the same candidate — and, since all further moves
-        depend only on the current program and plan, so are their whole
-        subtrees. Unlike the historical ``tuple(sorted(script))`` key,
-        order-*dependent* scripts hash differently, so they are no
-        longer silently skipped.
+        Computed on the lowered instruction stream
+        (:meth:`Schedule.lowered`, requested with the tuner's cluster so
+        the cost model's evaluation reuses the same cache entry; the key
+        itself contains no resource names, so it is cluster-independent):
+        two move scripts that lower to the
+        same launches (kernel kind + member ops + dataflow) in the same
+        order with the same chunk-loop structure (members, chunk count,
+        ring/tiled shape, chunk modes) are the same candidate — and,
+        since all further moves depend only on the current program and
+        plan, so are their whole subtrees. Unlike the historical
+        ``tuple(sorted(script))`` key, order-*dependent* scripts hash
+        differently, so they are no longer silently skipped.
 
         The key is deliberately *name-free* for operations: generated
         names (``slice_p_32``, fused-block names) carry a global
@@ -290,9 +294,13 @@ class Autotuner:
         hashes differently by name. Instead every operation is
         identified structurally — its type, salient attributes, output
         size, and dataflow references (other operations by plan
-        position, program inputs by their stable declared names).
+        position, program inputs by their stable declared names) — and
+        instructions reference kernels by plan position.
         """
-        plan = sched.plan()
+        from repro.core.lower import ChunkLoop, PackScattered
+
+        lowered = sched.lowered(cluster=self.cluster)
+        plan = lowered.plan
         token: Dict[int, int] = {}
         for k in plan.kernels:
             for e in k.exprs:
@@ -337,10 +345,23 @@ class Autotuner:
             (k.kind.value, tuple(entry(e) for e in k.exprs))
             for k in plan.kernels
         )
-        overlaps = tuple(
-            tuple(index[n] for n in g) for g in plan.overlap_groups
-        )
-        return (kernels, overlaps)
+        layout: List[Tuple] = []
+        for instr in lowered.instructions:
+            if isinstance(instr, PackScattered):
+                continue  # derived from its fused kernel, no new info
+            if isinstance(instr, ChunkLoop):
+                layout.append(
+                    (
+                        "chunkloop", instr.num_chunks, instr.ring,
+                        tuple(
+                            (index[e.name], e.mode)
+                            for e in instr.entries
+                        ),
+                    )
+                )
+            else:
+                layout.append(("launch", index[instr.name]))
+        return (kernels, tuple(layout))
 
     # -- the search ---------------------------------------------------------
 

@@ -113,6 +113,9 @@ class Kernel:
     name: str
     kind: KernelKind
     exprs: Tuple[Expr, ...]
+    #: name of the overlap group this kernel belongs to, if any — set
+    #: during plan derivation so a kernel is debuggable on its own
+    overlap_group: Optional[str] = None
 
     @property
     def output(self) -> Expr:
@@ -127,7 +130,13 @@ class Kernel:
         )
 
     def __repr__(self) -> str:
-        return f"Kernel({self.name}, {self.kind.value}, {len(self.exprs)} ops)"
+        member = (
+            f", in {self.overlap_group}" if self.overlap_group else ""
+        )
+        return (
+            f"Kernel({self.name}, {self.kind.value}, "
+            f"{len(self.exprs)} ops{member})"
+        )
 
 
 @dataclass
@@ -153,13 +162,39 @@ class ExecutionPlan:
         """
         return len(self.kernels)
 
-    def describe(self) -> str:
+    def describe(self, lowered=None) -> str:
+        """Render the plan; with a lowered program, annotate each kernel
+        with its stream assignment and each overlap group with its chunk
+        count and mode (the facts only the lowering knows)."""
+        streams: Dict[str, str] = {}
+        chunk_info: Dict[int, str] = {}
+        if lowered is not None:
+            for launch in lowered.launches():
+                streams[launch.name] = launch.stream
+            loops = lowered.chunk_loops()
+            for gi, group in enumerate(self.overlap_groups):
+                # the lowered loop may hold *more* kernels than the plan
+                # group (interposed dependents, merged groups), so match
+                # on containment, not equality
+                loop = next(
+                    (
+                        lo for lo in loops
+                        if set(group) <= set(lo.member_names)
+                    ),
+                    None,
+                )
+                if loop is not None:
+                    kind = "ring" if loop.ring else "tiled"
+                    chunk_info[gi] = f" [{loop.num_chunks} chunks, {kind}]"
         lines = []
         for k in self.kernels:
             members = ", ".join(e.name for e in k.exprs)
-            lines.append(f"{k.name}: {k.kind.value} [{members}]")
-        for group in self.overlap_groups:
-            lines.append(f"overlap: {' <-> '.join(group)}")
+            at = f" @ {streams[k.name]}" if k.name in streams else ""
+            lines.append(f"{k.name}: {k.kind.value} [{members}]{at}")
+        for gi, group in enumerate(self.overlap_groups):
+            lines.append(
+                f"overlap: {' <-> '.join(group)}{chunk_info.get(gi, '')}"
+            )
         return "\n".join(lines)
 
 

@@ -50,6 +50,8 @@ class Schedule:
         self._version = 0
         self._plan_cache: "Tuple[int, ExecutionPlan] | None" = None
         self._users_cache: "Tuple[int, Dict[Expr, List[Expr]]] | None" = None
+        #: (gpus_per_node, overlap_chunks) -> (version, LoweredProgram)
+        self._lowered_cache: Dict[tuple, tuple] = {}
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -87,6 +89,7 @@ class Schedule:
         new._version = self._version
         new._plan_cache = None
         new._users_cache = None
+        new._lowered_cache = {}
         return new
 
     def users_map(self) -> Dict[Expr, List[Expr]]:
@@ -289,6 +292,7 @@ class Schedule:
             for e in k.exprs:
                 kernel_name_of[id(e)] = k.name
         groups: List[List[str]] = []
+        by_name = {k.name: k for k in kernels}
         for g in self._overlaps:
             names: List[str] = []
             for it in g.items:
@@ -300,7 +304,31 @@ class Schedule:
                         names.append(name)
             if len(names) >= 2:
                 groups.append(names)
+                for name in names:
+                    by_name[name].overlap_group = g.name
         return ExecutionPlan(kernels, groups)
+
+    # -- lowering --------------------------------------------------------------
+
+    def lowered(self, cluster=None, overlap_chunks: "int | None" = None):
+        """Lower this schedule to the shared instruction IR (cached).
+
+        The executor, the code generator and the cost model all consume
+        the same :class:`~repro.core.lower.LoweredProgram`; it only
+        changes when a transformation rewrites the program, so it is
+        cached per schedule version (and per cluster node width, the one
+        cluster fact that affects resource naming).
+        """
+        from repro.core.lower import lower
+
+        gpn = cluster.node.gpus_per_node if cluster is not None else None
+        key = (gpn, overlap_chunks)
+        hit = self._lowered_cache.get(key)
+        if hit is not None and hit[0] == self._version:
+            return hit[1]
+        lp = lower(self, cluster=cluster, overlap_chunks=overlap_chunks)
+        self._lowered_cache[key] = (self._version, lp)
+        return lp
 
     # -- reporting --------------------------------------------------------------
 

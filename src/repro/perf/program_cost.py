@@ -1,15 +1,19 @@
-"""Program-level cost model: execution plan → simulated time.
+"""Program-level cost model: lowered instruction stream → simulated time.
 
 Turns a scheduled program into a task graph over simulated resources
-and runs the discrete-event engine:
+and runs the discrete-event engine. The task structure comes from the
+shared lowering (:mod:`repro.core.lower`) — the same instruction stream
+the numeric executor interprets and the code generator emits:
 
-* every kernel becomes one task (GPU stream, node fabric, or IB NICs);
-* kernels outside overlap groups are serialized per stream, as a single
+* every launch becomes one task (GPU stream, node fabric, or IB NICs);
+* launches outside chunk loops are serialized per stream, as a single
   CUDA stream would;
-* overlap groups are decomposed into chunk tasks with the
-  producer-consumer chunk dependencies of Figure 9 — chunk *c* of the
-  consumer waits for chunk *c* of the producer, each kernel is launched
-  once, and a per-chunk spin-lock synchronization cost is charged.
+* chunk loops expand into chunk tasks with the producer-consumer chunk
+  dependencies of Figure 9 — chunk *c* of the consumer waits for chunk
+  *c* of the producer, each kernel is launched once, and a per-chunk
+  spin-lock synchronization cost is charged;
+* fused collectives additionally pay the §5.4 scattered-tensor bucket
+  table (12 · ⌈N / 2^10⌉ bytes) as HBM traffic.
 
 This model is the autotuner's objective function and the basis of every
 benchmark figure.
@@ -23,9 +27,18 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.cluster.gpu import GPU, TESLA_V100
 from repro.cluster.topology import Cluster
 from repro.core import ops
+from repro.core.lower import (
+    ChunkLoop,
+    LoweredProgram,
+    PackScattered,
+    fabric_of,
+    fused_pack_info,
+    lower,
+    stream_of,
+)
 from repro.core.program import Program
 from repro.core.tensor import Const, Expr
-from repro.core.transforms.plan import ExecutionPlan, Kernel, KernelKind
+from repro.core.transforms.plan import Kernel, KernelKind
 from repro.core.transforms.schedule import Schedule
 from repro.errors import CoCoNetError
 from repro.nccl.config import CHANNEL_CHOICES, choose_config
@@ -92,6 +105,7 @@ class ProgramCostModel:
         overlap_chunks: Optional[int] = None,
         memoize: bool = True,
         engine: Optional[Engine] = None,
+        scattered_metadata: bool = True,
     ) -> None:
         self.cluster = cluster
         self.gpu = gpu or cluster.node.gpu
@@ -102,6 +116,8 @@ class ProgramCostModel:
         self.gemm_efficiency = gemm_efficiency
         self.overlap_chunks = overlap_chunks
         self.memoize = memoize
+        #: charge the §5.4 bucket-table metadata of fused collectives
+        self.scattered_metadata = scattered_metadata
         self.engine = engine or Engine()
         self._collective_memo: Dict[tuple, Tuple[float, float]] = {}
         self._ring_sweep_memo: Dict[tuple, float] = {}
@@ -131,8 +147,11 @@ class ProgramCostModel:
         if that bound already reaches the cutoff the candidate cannot
         win and the discrete-event run is skipped.
         """
-        plan = self._plan_of(scheduled)
-        costs = {k.name: self._kernel_cost_cached(k) for k in plan.kernels}
+        lowered = self._lowered_of(scheduled)
+        costs = {
+            k.name: self._kernel_cost_cached(k)
+            for k in lowered.plan.kernels
+        }
         if cutoff is not None:
             busy: Dict[str, float] = {}
             for c in costs.values():
@@ -140,37 +159,52 @@ class ProgramCostModel:
             bound = max(busy.values(), default=0.0)
             if bound >= cutoff:
                 return CostEvaluation(bound, pruned=True)
-        tasks = self._build_tasks(plan, costs)
+        tasks = self._build_tasks(lowered, costs)
         return CostEvaluation(self.engine.run(tasks).makespan)
 
     def timeline(
         self, scheduled: Union[Schedule, Program]
     ) -> Tuple[Timeline, List[Task]]:
         """Full task timeline (for breakdowns and inspection)."""
-        plan = self._plan_of(scheduled)
-        tasks = self._build_tasks(plan)
+        lowered = self._lowered_of(scheduled)
+        tasks = self._build_tasks(lowered)
         return self.engine.run(tasks), tasks
 
     def kernel_breakdown(
         self, scheduled: Union[Schedule, Program]
     ) -> Dict[str, float]:
         """Per-kernel cost (unoverlapped durations) for bar charts."""
-        plan = self._plan_of(scheduled)
+        lowered = self._lowered_of(scheduled)
         return {
             k.name: self._kernel_cost_cached(k).duration
-            for k in plan.kernels
+            for k in lowered.plan.kernels
         }
 
     # -- internals ------------------------------------------------------
 
-    @staticmethod
-    def _plan_of(scheduled: Union[Schedule, Program]) -> ExecutionPlan:
+    def _lowered_of(
+        self, scheduled: Union[Schedule, Program, LoweredProgram]
+    ) -> LoweredProgram:
+        """The shared lowered instruction stream of a scheduled program.
+
+        Schedules cache their lowering per version; plain programs are
+        lowered on the fly (they have no transformation state to key a
+        cache on).
+        """
         if isinstance(scheduled, Schedule):
-            return scheduled.plan()
-        return Schedule(scheduled).plan()
+            return scheduled.lowered(
+                cluster=self.cluster, overlap_chunks=self.overlap_chunks
+            )
+        if isinstance(scheduled, LoweredProgram):
+            return scheduled
+        return lower(
+            scheduled,
+            cluster=self.cluster,
+            overlap_chunks=self.overlap_chunks,
+        )
 
     def _stream_of(self, kernel: Kernel) -> str:
-        return f"gpu:{kernel.output.group.start}"
+        return stream_of(kernel)
 
     def _kernel_cost_cached(self, kernel: Kernel) -> KernelCost:
         """Kernel cost memoized by member-expression identity.
@@ -312,13 +346,8 @@ class ProgramCostModel:
         return extra
 
     def _fabric_of(self, comm: Expr) -> str:
-        group = comm.group
-        node = self.cluster.node
-        first = group.start // node.gpus_per_node
-        last = (group.start + group.size - 1) // node.gpus_per_node
-        if first == last:
-            return f"fabric:node{first}"
-        return f"fabric:g{group.start}x{group.size}"
+        # single-sourced with the lowering's resource assignment
+        return fabric_of(comm, self.cluster.node.gpus_per_node)
 
     # -- memoized collective sweeps -------------------------------------
 
@@ -434,6 +463,13 @@ class ProgramCostModel:
             traffic = self._extra_operand_traffic(comp_ops, anchor)
         else:
             traffic = self._compute_traffic(comp_ops) if comp_ops else 0.0
+        if self.scattered_metadata:
+            # §5.4: the fused kernel addresses scattered tensors through
+            # a bucket table of 12 · ⌈N / 2^10⌉ bytes, read during the
+            # exchange — extra HBM traffic on the compute side
+            pack = fused_pack_info(kernel)
+            if pack is not None:
+                traffic += pack.metadata_bytes
         compute_time = kernel_cost.pointwise_time(
             traffic, self.gpu, self.fused_compute_params,
             include_launch=False,
@@ -480,106 +516,62 @@ class ProgramCostModel:
 
     def _build_tasks(
         self,
-        plan: ExecutionPlan,
+        lowered: LoweredProgram,
         costs: Optional[Dict[str, KernelCost]] = None,
     ) -> List[Task]:
-        producer: Dict[int, str] = {}
+        """Map the lowered instruction stream onto discrete-event tasks.
+
+        A 1:1 translation: launches become tasks serialized per issue
+        stream, chunk loops expand via :meth:`_emit_chunk_tasks`, and
+        bucket-table preparations are free (built once on the CPU; their
+        read traffic is already folded into the fused kernel's cost).
+        All structure — dependencies, streams, chunk counts, member
+        chains — comes from the lowering; nothing is re-derived here.
+        """
         if costs is None:
             costs = {
-                k.name: self._kernel_cost_cached(k) for k in plan.kernels
+                k.name: self._kernel_cost_cached(k)
+                for k in lowered.plan.kernels
             }
-        for k in plan.kernels:
-            for e in k.exprs:
-                producer[id(e)] = k.name
-
-        overlapped = {
-            name for group in plan.overlap_groups for name in group
-        }
-        kernel_deps: Dict[str, List[str]] = {}
-        for k in plan.kernels:
-            deps: List[str] = []
-            member_ids = {id(e) for e in k.exprs}
-            for e in k.exprs:
-                for i in e.inputs:
-                    p = producer.get(id(i))
-                    if p and p != k.name and p not in deps:
-                        deps.append(p)
-            kernel_deps[k.name] = deps
-
         tasks: List[Task] = []
         completion: Dict[str, str] = {}
         prev_on_stream: Dict[str, Optional[str]] = {}
-        plan_index = {k.name: i for i, k in enumerate(plan.kernels)}
-        last_member = {
-            gi: max(g, key=plan_index.__getitem__)
-            for gi, g in enumerate(plan.overlap_groups)
-        }
-
-        for k in plan.kernels:
-            if k.name in overlapped:
-                gi = next(
-                    i for i, g in enumerate(plan.overlap_groups)
-                    if k.name in g
-                )
-                if last_member[gi] != k.name:
-                    continue
-                group = plan.overlap_groups[gi]
-                self._emit_overlap_tasks(
-                    group, plan, costs, kernel_deps, completion,
-                    prev_on_stream, tasks,
+        for instr in lowered.instructions:
+            if isinstance(instr, PackScattered):
+                continue
+            if isinstance(instr, ChunkLoop):
+                self._emit_chunk_tasks(
+                    instr, costs, completion, prev_on_stream, tasks
                 )
                 continue
-            c = costs[k.name]
-            deps = [completion[d] for d in kernel_deps[k.name] if d in completion]
-            stream = self._stream_of(k)
-            prev = prev_on_stream.get(stream)
+            c = costs[instr.name]
+            deps = [
+                completion[d] for d in instr.deps if d in completion
+            ]
+            prev = prev_on_stream.get(instr.stream)
             if prev and prev not in deps:
                 deps.append(prev)
-            tasks.append(Task(k.name, c.resource, c.duration, tuple(deps)))
-            completion[k.name] = k.name
-            prev_on_stream[stream] = k.name
+            tasks.append(
+                Task(instr.name, c.resource, c.duration, tuple(deps))
+            )
+            completion[instr.name] = instr.name
+            prev_on_stream[instr.stream] = instr.name
         return tasks
 
-    def _emit_overlap_tasks(
-        self, group, plan, costs, kernel_deps, completion,
-        prev_on_stream, tasks,
+    def _emit_chunk_tasks(
+        self, loop: ChunkLoop, costs, completion, prev_on_stream, tasks
     ) -> None:
-        kernels = [k for k in plan.kernels if k.name in group]
-        kernels.sort(key=lambda k: group.index(k.name))
-        comm_kinds = (
-            KernelKind.COLLECTIVE, KernelKind.FUSED_COLLECTIVE,
-            KernelKind.P2P, KernelKind.FUSED_P2P,
-        )
-        comm_members = [k for k in kernels if k.kind in comm_kinds]
-        first_comm = comm_members[0] if comm_members else None
-        if self.overlap_chunks is not None:
-            nchunks = self.overlap_chunks
-        elif kernels[0].kind is KernelKind.GEMM:
-            # GEMM producer: 2-D chunks in ring order, one per rank
-            # (Figure 9)
-            nchunks = min(32, max(4, first_comm.output.group.size))
-        elif first_comm is not None:
-            # Communication chain (Figure 7b): tiles are communication
-            # buffers handed from stage to stage; NCCL's buffer-slot
-            # recycling keeps only a few tiles in flight (the paper's
-            # figure shows T0-T2).
-            buffer_bytes = 8 * 4 * 1024 * 1024
-            nbytes = max(
-                first_comm.output.per_rank_bytes(),
-                first_comm.exprs[0].inputs[0].per_rank_bytes(),
-            )
-            nchunks = min(4, max(2, -(-nbytes // buffer_bytes)))
-        else:
-            nchunks = 8
-        member_names = {k.name for k in kernels}
-        for ki, k in enumerate(kernels):
-            c = costs[k.name]
+        """Expand one lowered chunk loop into per-chunk tasks (Figure 9)."""
+        member_names = set(loop.member_names)
+        nchunks = loop.num_chunks
+        for entry in loop.entries:
+            c = costs[entry.name]
             ext_deps = [
                 completion[d]
-                for d in kernel_deps[k.name]
-                if d in completion and d not in group
+                for d in entry.external_deps
+                if d in completion
             ]
-            stream = self._stream_of(k)
+            stream = entry.instr.stream
             prev = prev_on_stream.get(stream)
             # Members of the group share the rank's stream conceptually
             # but are launched together and synchronize via chunk flags,
@@ -591,9 +583,8 @@ class ProgramCostModel:
                 ext_deps.append(prev)
             chunk_dur = c.stream_part / nchunks
             last_name = None
-            upstream = kernels[ki - 1].name if ki > 0 else None
             for ci in range(nchunks):
-                name = f"{k.name}#c{ci}"
+                name = f"{entry.name}#c{ci}"
                 dur = chunk_dur + SPINLOCK_SYNC_OVERHEAD
                 if ci == 0:
                     dur += c.head
@@ -601,10 +592,10 @@ class ProgramCostModel:
                 if ci == 0:
                     deps.extend(ext_deps)
                 else:
-                    deps.append(f"{k.name}#c{ci - 1}")
-                if upstream is not None:
-                    deps.append(f"{upstream}#c{ci}")
+                    deps.append(f"{entry.name}#c{ci - 1}")
+                if entry.upstream is not None:
+                    deps.append(f"{entry.upstream}#c{ci}")
                 tasks.append(Task(name, c.resource, dur, tuple(deps)))
                 last_name = name
-            completion[k.name] = last_name
+            completion[entry.name] = last_name
             prev_on_stream[stream] = last_name

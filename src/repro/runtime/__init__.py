@@ -11,6 +11,11 @@ single numpy expressions) and the original per-rank dict *reference*
 store (``Executor(reference=True)`` / ``SimWorld(n, reference=True)``),
 retained as the oracle the vectorized backend is property-tested
 bit-identical against.
+
+``Executor.run_lowered`` additionally interprets the shared lowered
+instruction stream (:mod:`repro.core.lower`) — fused blocks as units,
+overlap groups chunk-by-chunk — bit-identical to the DFG interpretation,
+so scheduled execution itself is numerically verified.
 """
 
 from repro.runtime.executor import Executor, ProgramResult

@@ -193,8 +193,8 @@ class TestEngineEquivalence:
         wl = MoEWorkload.build(256, 512, 2048, 16)
         pcm = ProgramCostModel(Cluster(1))
         for sched in wl.schedules().values():
-            plan = sched.plan()
-            tasks = pcm._build_tasks(plan)
+            lowered = sched.lowered(cluster=pcm.cluster)
+            tasks = pcm._build_tasks(lowered)
             assert Engine().run(tasks).spans == (
                 Engine()._reference_run(tasks).spans
             )

@@ -1,0 +1,241 @@
+"""CI benchmark-regression gate.
+
+Compares fresh ``BENCH_*.json`` reports (written by the benchmark
+scripts at the repo root) against committed reference numbers under
+``benchmarks/baselines/`` and **fails** when a guarded metric regresses
+beyond the tolerance — turning the benchmark artifacts from "uploaded
+and forgotten" into a required CI check.
+
+Baseline schema (one file per benchmark, same filename)::
+
+    {
+      "tolerance": 0.10,                  # optional, default 0.10
+      "checks": [
+        {"path": "equal_outputs", "equals": true},
+        {"path": "acceptance.adam_gpt3_64ranks_speedup", "min": 3.0},
+        {"path": "median_overhead", "max": 1.25},
+        {"path_num": "a.b", "path_den": "a.c", "min": 1.0}   # ratio
+      ]
+    }
+
+Semantics: ``min`` floors pass when ``fresh >= min * (1 - tolerance)``;
+``max`` caps pass when ``fresh <= max * (1 + tolerance)``; ``equals``
+must match exactly (no tolerance — used for booleans like
+``equal_outputs``). Ratio checks divide two paths of the fresh report
+before applying the floor/cap.
+
+Usage::
+
+    python benchmarks/check_regression.py BENCH_runtime.json ...
+    python benchmarks/check_regression.py --update-baselines BENCH_*.json
+
+``--update-baselines`` rewrites each baseline's floors/caps from the
+fresh report (floors at ``fresh * 0.8``, caps at ``fresh * 1.2``) for
+intentional performance shifts; the updated files are meant to be
+committed with the change that moved the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Tuple
+
+BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "baselines")
+DEFAULT_TOLERANCE = 0.10
+#: margins applied by --update-baselines: floors sit below and caps sit
+#: above the freshly measured value by this factor
+UPDATE_FLOOR_MARGIN = 0.8
+UPDATE_CAP_MARGIN = 1.2
+
+
+class GateError(Exception):
+    """A malformed baseline/report (distinct from a failed check)."""
+
+
+def lookup(report: dict, path: str):
+    """Resolve a dotted path in a nested report dict."""
+    node = report
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise GateError(f"path {path!r} not found in the fresh report")
+        node = node[part]
+    return node
+
+
+def _check_value(check: dict, report: dict):
+    if "path" in check:
+        return lookup(report, check["path"]), check["path"]
+    if "path_num" in check and "path_den" in check:
+        num = lookup(report, check["path_num"])
+        den = lookup(report, check["path_den"])
+        if not den:
+            raise GateError(f"ratio denominator {check['path_den']!r} is 0")
+        label = f"{check['path_num']} / {check['path_den']}"
+        return float(num) / float(den), label
+    raise GateError(f"check needs 'path' or 'path_num'+'path_den': {check}")
+
+
+def run_checks(
+    report: dict, baseline: dict, tolerance_override: "float | None" = None
+) -> Tuple[List[str], List[str]]:
+    """Evaluate one baseline file; returns (passed, failed) messages."""
+    tol = (
+        tolerance_override
+        if tolerance_override is not None
+        else baseline.get("tolerance", DEFAULT_TOLERANCE)
+    )
+    passed: List[str] = []
+    failed: List[str] = []
+    checks = baseline.get("checks", [])
+    if not checks:
+        raise GateError("baseline has no checks")
+    for check in checks:
+        try:
+            value, label = _check_value(check, report)
+        except GateError as exc:
+            failed.append(str(exc))
+            continue
+        if "equals" in check:
+            want = check["equals"]
+            if value == want:
+                passed.append(f"{label} == {want!r}")
+            else:
+                failed.append(f"{label}: expected {want!r}, got {value!r}")
+        elif "min" in check:
+            floor = check["min"] * (1.0 - tol)
+            if float(value) >= floor:
+                passed.append(
+                    f"{label} = {float(value):.4g} >= "
+                    f"{check['min']:.4g}·(1-{tol:.0%})"
+                )
+            else:
+                failed.append(
+                    f"{label} REGRESSED: {float(value):.4g} < floor "
+                    f"{check['min']:.4g}·(1-{tol:.0%}) = {floor:.4g}"
+                )
+        elif "max" in check:
+            cap = check["max"] * (1.0 + tol)
+            if float(value) <= cap:
+                passed.append(
+                    f"{label} = {float(value):.4g} <= "
+                    f"{check['max']:.4g}·(1+{tol:.0%})"
+                )
+            else:
+                failed.append(
+                    f"{label} REGRESSED: {float(value):.4g} > cap "
+                    f"{check['max']:.4g}·(1+{tol:.0%}) = {cap:.4g}"
+                )
+        else:
+            failed.append(f"check has no min/max/equals: {check}")
+    return passed, failed
+
+
+def update_baseline(baseline: dict, report: dict) -> dict:
+    """Refresh floors/caps from a fresh report (intentional shifts).
+
+    Only tunable ``min``/``max`` values are rewritten. ``equals``
+    checks guard correctness invariants (``equal_outputs`` and friends)
+    — refreshing them from a report whose numerics just broke would
+    silently disable the guard forever, so they are left untouched.
+    """
+    out = dict(baseline)
+    new_checks = []
+    for check in baseline.get("checks", []):
+        check = dict(check)
+        value, _ = _check_value(check, report)
+        if "min" in check:
+            check["min"] = round(float(value) * UPDATE_FLOOR_MARGIN, 4)
+        elif "max" in check:
+            check["max"] = round(float(value) * UPDATE_CAP_MARGIN, 4)
+        new_checks.append(check)
+    out["checks"] = new_checks
+    return out
+
+
+def gate(
+    fresh_paths: List[str],
+    baseline_dir: str = BASELINE_DIR,
+    tolerance: "float | None" = None,
+    update: bool = False,
+) -> Dict[str, Tuple[List[str], List[str]]]:
+    """Gate every fresh report; returns per-file (passed, failed)."""
+    results: Dict[str, Tuple[List[str], List[str]]] = {}
+    for fresh_path in fresh_paths:
+        name = os.path.basename(fresh_path)
+        baseline_path = os.path.join(baseline_dir, name)
+        if not os.path.exists(fresh_path):
+            results[name] = ([], [f"fresh report {fresh_path} is missing "
+                                  f"(did the benchmark run?)"])
+            continue
+        if not os.path.exists(baseline_path):
+            results[name] = ([], [f"no committed baseline at "
+                                  f"{baseline_path}"])
+            continue
+        with open(fresh_path) as f:
+            report = json.load(f)
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        if update:
+            updated = update_baseline(baseline, report)
+            with open(baseline_path, "w") as f:
+                json.dump(updated, f, indent=2, sort_keys=True)
+                f.write("\n")
+            results[name] = ([f"baseline refreshed from {fresh_path}"], [])
+            continue
+        try:
+            results[name] = run_checks(report, baseline, tolerance)
+        except GateError as exc:
+            results[name] = ([], [str(exc)])
+    return results
+
+
+def main(argv: "List[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "reports", nargs="+",
+        help="fresh BENCH_*.json files (paths; matched to baselines "
+             "by filename)",
+    )
+    parser.add_argument(
+        "--baselines", default=BASELINE_DIR,
+        help="directory of committed reference numbers",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None,
+        help="override every baseline's tolerance (e.g. 0.15)",
+    )
+    parser.add_argument(
+        "--update-baselines", action="store_true",
+        help="rewrite baselines from the fresh reports instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    results = gate(
+        args.reports,
+        baseline_dir=args.baselines,
+        tolerance=args.tolerance,
+        update=args.update_baselines,
+    )
+    any_failed = False
+    for name in sorted(results):
+        passed, failed = results[name]
+        status = "FAIL" if failed else "ok"
+        print(f"[{status}] {name}")
+        for msg in passed:
+            print(f"    pass: {msg}")
+        for msg in failed:
+            print(f"    FAIL: {msg}")
+        any_failed |= bool(failed)
+    if any_failed:
+        print("\nbenchmark regression gate FAILED", file=sys.stderr)
+        return 1
+    print("\nbenchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

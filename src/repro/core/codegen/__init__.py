@@ -21,9 +21,23 @@ multi-rank runtime instead of CUDA against real GPUs:
 Every generated module is executable, and its results are required (by
 the differential tests) to match the interpreting executor exactly.
 Generated line counts feed Table 3.
+
+``CodeGenerator(target="spmd")`` emits a second flavour of module: a
+per-rank program whose kernels bind to a
+:class:`repro.runtime.spmd.SpmdCommunicator` and execute as one real OS
+process per rank (:class:`GeneratedSpmdProgram`).
 """
 
-from repro.core.codegen.generator import CodeGenerator, GeneratedProgram
+from repro.core.codegen.generator import (
+    CodeGenerator,
+    GeneratedProgram,
+    GeneratedSpmdProgram,
+)
 from repro.core.codegen.loc import count_loc
 
-__all__ = ["CodeGenerator", "GeneratedProgram", "count_loc"]
+__all__ = [
+    "CodeGenerator",
+    "GeneratedProgram",
+    "GeneratedSpmdProgram",
+    "count_loc",
+]

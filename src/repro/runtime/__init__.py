@@ -16,9 +16,21 @@ bit-identical against.
 instruction stream (:mod:`repro.core.lower`) — fused blocks as units,
 overlap groups chunk-by-chunk — bit-identical to the DFG interpretation,
 so scheduled execution itself is numerically verified.
+
+``Executor.run_spmd`` leaves the single process altogether: it executes
+the generated SPMD module as one real OS process per rank over the
+shared-memory communicator of :mod:`repro.runtime.spmd`, bit-identical
+to ``run_lowered``.
 """
 
 from repro.runtime.executor import Executor, ProgramResult
+from repro.runtime.spmd import SpmdCommunicator, SpmdError
 from repro.runtime.world import SimWorld
 
-__all__ = ["Executor", "ProgramResult", "SimWorld"]
+__all__ = [
+    "Executor",
+    "ProgramResult",
+    "SimWorld",
+    "SpmdCommunicator",
+    "SpmdError",
+]

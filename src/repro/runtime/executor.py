@@ -178,6 +178,45 @@ class Executor:
         }
         return ProgramResult(outputs, states)
 
+    # -- real-process SPMD execution --------------------------------------
+
+    def run_spmd(
+        self,
+        scheduled,
+        inputs: Mapping[str, np.ndarray],
+        nranks: Optional[int] = None,
+        allow_downcast: Optional[bool] = None,
+        protocol: str = "Simple",
+        wire_s_per_mb: float = 0.0,
+        timeout: Optional[float] = None,
+    ) -> ProgramResult:
+        """Run a schedule as one real OS process per rank.
+
+        Generates the SPMD module for ``scheduled`` (the same lowered
+        instruction stream every backend consumes), spawns one process
+        per rank over :mod:`repro.runtime.spmd`'s shared-memory
+        communicator, and reassembles the per-rank outputs. Bit-identical
+        (``np.array_equal``) to :meth:`run_lowered` on every schedule —
+        the communicator applies the same rank-order float64 reduction
+        formulas as the vectorized collectives.
+
+        ``nranks``, when given, must equal the program's world size (a
+        program's placement is baked in at construction). ``wire_s_per_mb``
+        charges simulated wire time per published megabyte, letting
+        benchmarks measure real overlap; ``timeout`` bounds every
+        rendezvous wait so a failing rank cannot deadlock the run.
+        """
+        from repro.core.codegen import CodeGenerator
+
+        generated = CodeGenerator(protocol, target="spmd").generate(scheduled)
+        return generated.run(
+            inputs,
+            nranks=nranks,
+            allow_downcast=allow_downcast,
+            wire_s_per_mb=wire_s_per_mb,
+            timeout=timeout,
+        )
+
     # -- lowered (plan-aware) execution ----------------------------------
 
     def run_lowered(

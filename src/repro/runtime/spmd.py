@@ -1,0 +1,1198 @@
+"""Real SPMD execution: one OS process per rank over shared memory.
+
+Every other backend in this repository — the reference dict world, the
+rank-major vectorized world, the lowered-stream interpreter — executes
+all ranks inside one Python process, so "communication" is a library
+call over arrays it already owns. This module is the first tier where a
+generated program runs as *real concurrent processes*: ``launch`` spawns
+one process per rank (``multiprocessing`` spawn context), each process
+executes the same generated SPMD module (``CodeGenerator`` with
+``target="spmd"``), and ranks rendezvous through a
+:class:`SpmdCommunicator` built on ``multiprocessing.shared_memory``.
+
+Transport protocol
+------------------
+
+The parent lays out one *slot* per (communication site, rank) in a
+single shared data segment, plus an ``int64`` flags segment. A site is
+a process group (key ``g<start>x<size>``) or a point-to-point pair
+(``p<src>><dst>``). Each slot holds a small self-describing header
+(shape + dtype) and the payload; each (site, rank) pair has a *ready*
+and a *done* sequence counter in the flags segment:
+
+* publish: write payload, then store ``ready = seq * 2^20 + progress``
+  (``progress`` counts published chunks; whole payloads publish 1);
+* collect: spin until a peer's ready counter covers the needed chunk,
+  then copy the payload out;
+* finish: store ``done = seq``. A publisher may only reuse its slot for
+  ``seq`` once every participant's ``done`` reached ``seq - 1``.
+
+Because the program is SPMD, every member of a group issues that
+group's operations in the same order, so the per-site sequence numbers
+advance in lockstep and the tiny protocol above is a full rendezvous.
+
+The publish-then-flag ordering relies on total-store-order visibility
+between the payload write and the flag store (plus the fences CPython
+itself executes between the two numpy calls). That holds on x86-64 —
+every environment this repository's CI runs — but is not guaranteed by
+weakly-ordered ISAs; a port to ARM should add an explicit fence (or a
+``multiprocessing`` synchronization primitive) between the two stores.
+
+Numerics
+--------
+
+Collectives gather peer payloads into a contiguous rank-major stack and
+apply the *same* reduction/slicing formulas as
+:mod:`repro.runtime.collectives` (float64 accumulation in rank order),
+so every collective is bit-identical to its vectorized counterpart —
+the property the ``run_spmd`` ≡ ``run_lowered`` acceptance tests rely
+on. The pairwise AllToAll drains peers in the step order of
+:func:`repro.nccl.algorithms.all_to_all_steps`; chunked publication
+(:meth:`SpmdCommunicator.begin_chunked` /
+:meth:`SpmdCommunicator.publish_chunks`) releases a producer's output
+chunk-by-chunk at the lowering's chunk granularity, and a consuming
+reduction ingests each chunk as soon as all ranks have published it.
+Reductions over the rank axis are element-wise in the data dimensions,
+so chunk-wise accumulation is bit-identical to whole-buffer
+accumulation while genuinely pipelining the reduce behind the wire
+(:meth:`SpmdCommunicator.begin_chunked` documents why the gather-based
+consumer releases chunks index-ordered rather than ring-rotated).
+
+Failure handling
+----------------
+
+A rank that raises stores a failure marker in the flags segment; every
+spin loop polls the marker, so peers blocked mid-collective abort
+promptly instead of deadlocking the rendezvous. The parent tears down
+in a ``finally``: joins (then terminates) every worker and closes and
+unlinks both shared-memory segments, so a failing kernel can never leak
+``/dev/shm`` segments.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+import uuid
+from multiprocessing import get_context
+from multiprocessing.shared_memory import SharedMemory
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import ops
+from repro.core.process_group import ProcessGroup
+from repro.core.tensor import Tensor
+from repro.errors import ExecutionError
+from repro.runtime.collectives import _reduce_stack
+from repro.runtime.world import SimWorld, slice_of
+
+__all__ = [
+    "SpmdCommunicator",
+    "SpmdError",
+    "SpmdPeerAbort",
+    "SpmdTimeout",
+    "launch",
+    "CollectivePool",
+]
+
+#: bytes reserved at the start of every slot for the payload header
+HEADER_BYTES = 192
+#: ready counters encode ``seq * PROGRESS_BASE + chunks_published``
+PROGRESS_BASE = 1 << 20
+#: error-flag value stored by a failing rank
+_ERR_FAILED = 1
+#: spin-wait granularity (seconds)
+_SPIN = 5e-5
+#: default per-wait timeout (seconds)
+DEFAULT_TIMEOUT = 120.0
+
+
+class SpmdError(ExecutionError):
+    """Base error of the SPMD backend."""
+
+
+class SpmdTimeout(SpmdError):
+    """A rendezvous wait exceeded its deadline."""
+
+
+class SpmdPeerAbort(SpmdError):
+    """Another rank failed; this rank aborted its pending waits."""
+
+
+def _group_key(group: ProcessGroup) -> str:
+    return f"g{group.start}x{group.size}"
+
+
+def _p2p_key(src: int, dst: int) -> str:
+    return f"p{src}>{dst}"
+
+
+def _round64(n: int) -> int:
+    return (n + 63) // 64 * 64
+
+
+class SpmdLayout:
+    """Deterministic slot layout shared by the parent and every rank.
+
+    ``sites`` maps a site key to ``(participants, slot_bytes, offset)``
+    where ``offset`` is the byte offset of the site's rank-0 slot in the
+    data segment; rank ``r``'s slot starts at ``offset + r *
+    slot_bytes``. Picklable by construction (plain ints/tuples) so the
+    spawn context can ship it to every worker.
+    """
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self.sites: Dict[str, Tuple[Tuple[int, ...], int, int]] = {}
+        self.data_size = 64
+        self._pending: Dict[str, Tuple[Tuple[int, ...], int]] = {}
+
+    def add_site(
+        self, key: str, participants: Sequence[int], payload_bytes: int
+    ) -> None:
+        participants = tuple(participants)
+        slot = HEADER_BYTES + _round64(max(64, int(payload_bytes))) + 64
+        old = self._pending.get(key)
+        if old is not None:
+            participants = old[0]
+            slot = max(old[1], slot)
+        self._pending[key] = (participants, slot)
+
+    def freeze(self) -> int:
+        """Assign offsets; returns the total data-segment size."""
+        offset = 0
+        for key in sorted(self._pending):
+            participants, slot = self._pending[key]
+            self.sites[key] = (participants, slot, offset)
+            offset += slot * self.nranks
+        self.data_size = max(offset, 64)
+        return self.data_size
+
+    @property
+    def num_sites(self) -> int:
+        return len(self.sites)
+
+    def flags_length(self) -> int:
+        # ready+done per (site, rank), then one error flag per rank
+        return self.num_sites * self.nranks * 2 + self.nranks
+
+
+def build_layout(program) -> SpmdLayout:
+    """Enumerate the program's communication sites and size their slots.
+
+    One site per process group touched by a collective or cross-rank
+    reduction, one per point-to-point (src, dst) pair of every Send, and
+    one world-sized site for barriers. Slot sizes cover the largest
+    per-rank payload published at that site (collective inputs, chunked
+    staging buffers, gathered scalars).
+    """
+    world_size = program.inputs[0].group.world_size
+    layout = SpmdLayout(world_size)
+    layout.add_site(
+        _group_key(ProcessGroup(0, world_size, world_size)),
+        range(world_size),
+        64,
+    )
+    for e in program.operations:
+        if isinstance(e, ops.Send):
+            src_group = e.inputs[0].group
+            dst_group = e.group
+            nbytes = e.inputs[0].per_rank_bytes()
+            for local in range(src_group.size):
+                src = src_group.global_rank(local)
+                dst = dst_group.global_rank(local)
+                layout.add_site(_p2p_key(src, dst), (src, dst), nbytes)
+        elif isinstance(e, ops.CommOp):
+            nbytes = max(
+                e.inputs[0].per_rank_bytes(), e.per_rank_bytes()
+            )
+            layout.add_site(_group_key(e.group), e.group.ranks, nbytes)
+        elif (
+            isinstance(e, (ops.Norm, ops.ReduceTensor)) and e.crosses_ranks
+        ):
+            layout.add_site(_group_key(e.group), e.group.ranks, 64)
+    layout.freeze()
+    return layout
+
+
+class _ChunkToken:
+    """A chunked publication in flight on a group site."""
+
+    def __init__(self, key, group, seq, staging, chunk_dim, bounds) -> None:
+        self.key = key
+        self.group = group
+        self.seq = seq
+        self.staging = staging
+        self.chunk_dim = chunk_dim
+        self.bounds = tuple(bounds)
+
+
+class SpmdCommunicator:
+    """One rank's endpoint of the shared-memory rendezvous."""
+
+    def __init__(
+        self,
+        layout: SpmdLayout,
+        rank: int,
+        data: SharedMemory,
+        flags: SharedMemory,
+        wire_s_per_mb: float = 0.0,
+        timeout: float = DEFAULT_TIMEOUT,
+        owns_segments: bool = False,
+    ) -> None:
+        self.layout = layout
+        self.rank = rank
+        self.nranks = layout.nranks
+        self.wire_s_per_mb = float(wire_s_per_mb)
+        self.timeout = float(timeout)
+        self._data = data
+        self._flags_shm = flags
+        self._owns = owns_segments
+        self._flags = np.ndarray(
+            (layout.flags_length(),), dtype=np.int64, buffer=flags.buf
+        )
+        self._site_order = sorted(layout.sites)
+        self._site_idx = {k: i for i, k in enumerate(self._site_order)}
+        self._seq: Dict[str, int] = {}
+        self._tokens: Dict[str, _ChunkToken] = {}
+        self._err_off = layout.num_sites * layout.nranks * 2
+        self._closed = False
+
+    # -- attach (worker side) -------------------------------------------
+
+    @classmethod
+    def attach(
+        cls,
+        layout: SpmdLayout,
+        rank: int,
+        data_name: str,
+        flags_name: str,
+        wire_s_per_mb: float = 0.0,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> "SpmdCommunicator":
+        data = SharedMemory(name=data_name)
+        flags = SharedMemory(name=flags_name)
+        # NOTE: attaching does not register with the resource tracker on
+        # supported Pythons (3.9+), and spawned workers share the
+        # parent's tracker — the parent's unlink() is the only
+        # deregistration, so no double-unlink warnings.
+        return cls(layout, rank, data, flags, wire_s_per_mb, timeout)
+
+    # -- flags ----------------------------------------------------------
+
+    def _ready_idx(self, key: str, rank: int) -> int:
+        return (self._site_idx[key] * self.nranks + rank) * 2
+
+    def _ready(self, key: str, rank: int) -> int:
+        return int(self._flags[self._ready_idx(key, rank)])
+
+    def _set_ready(self, key: str, rank: int, value: int) -> None:
+        self._flags[self._ready_idx(key, rank)] = value
+
+    def _done(self, key: str, rank: int) -> int:
+        return int(self._flags[self._ready_idx(key, rank) + 1])
+
+    def _set_done(self, key: str, rank: int, value: int) -> None:
+        self._flags[self._ready_idx(key, rank) + 1] = value
+
+    def signal_error(self, kind: int = _ERR_FAILED) -> None:
+        """Mark this rank failed so peers abort their pending waits."""
+        if not self._closed:
+            self._flags[self._err_off + self.rank] = kind
+
+    def _check_peers(self) -> None:
+        errs = self._flags[self._err_off : self._err_off + self.nranks]
+        if errs.any():
+            failed = [
+                r for r in range(self.nranks)
+                if errs[r] and r != self.rank
+            ]
+            if failed:
+                raise SpmdPeerAbort(
+                    f"rank {self.rank}: aborting, peer rank(s) "
+                    f"{failed} failed"
+                )
+
+    def _spin(self, cond, what: str) -> None:
+        deadline = time.monotonic() + self.timeout
+        while not cond():
+            self._check_peers()
+            if time.monotonic() > deadline:
+                self.signal_error(_ERR_FAILED)
+                raise SpmdTimeout(
+                    f"rank {self.rank}: timed out after {self.timeout:.0f}s "
+                    f"waiting for {what}"
+                )
+            time.sleep(_SPIN)
+
+    # -- slots -----------------------------------------------------------
+
+    def _slot_bounds(self, key: str, rank: int) -> Tuple[int, int]:
+        try:
+            _, slot, offset = self.layout.sites[key]
+        except KeyError:
+            raise SpmdError(
+                f"rank {self.rank}: no communication site {key!r}; the "
+                f"launcher sized sites from the program — this op was "
+                f"not part of it"
+            ) from None
+        base = offset + rank * slot
+        return base, slot
+
+    def _write_header(self, key: str, arr: np.ndarray) -> None:
+        base, slot = self._slot_bounds(key, self.rank)
+        if HEADER_BYTES + arr.nbytes > slot:
+            raise SpmdError(
+                f"rank {self.rank}: payload of {arr.nbytes} B exceeds the "
+                f"{slot} B slot of site {key!r}"
+            )
+        if arr.ndim > 8:
+            raise SpmdError(f"payloads are limited to 8 dims, got {arr.ndim}")
+        header = np.ndarray((10,), dtype=np.int64, buffer=self._data.buf,
+                            offset=base)
+        header[0] = arr.nbytes
+        header[1] = arr.ndim
+        for i in range(8):
+            header[2 + i] = arr.shape[i] if i < arr.ndim else 0
+        dt = arr.dtype.str.encode("ascii")
+        self._data.buf[base + 80 : base + 80 + len(dt)] = dt
+        self._data.buf[base + 80 + len(dt)] = 0
+        del header
+
+    def _payload_view(
+        self, key: str, rank: int, shape: Tuple[int, ...], dtype
+    ) -> np.ndarray:
+        """A writable ndarray view of a slot's payload region.
+
+        Callers must drop the view before :meth:`close` (views pin the
+        shared-memory buffer).
+        """
+        base, _ = self._slot_bounds(key, rank)
+        return np.ndarray(
+            shape, dtype=dtype, buffer=self._data.buf,
+            offset=base + HEADER_BYTES,
+        )
+
+    def _read_payload(self, key: str, rank: int) -> np.ndarray:
+        base, _ = self._slot_bounds(key, rank)
+        header = np.ndarray((10,), dtype=np.int64, buffer=self._data.buf,
+                            offset=base)
+        ndim = int(header[1])
+        shape = tuple(int(header[2 + i]) for i in range(ndim))
+        del header
+        raw = bytes(self._data.buf[base + 80 : base + 112])
+        dtype = np.dtype(raw.split(b"\0", 1)[0].decode("ascii"))
+        view = self._payload_view(key, rank, shape, dtype)
+        out = view.copy()
+        del view
+        return out
+
+    def _wire_sleep(self, nbytes: int) -> None:
+        if self.wire_s_per_mb > 0.0 and nbytes > 0:
+            time.sleep(self.wire_s_per_mb * nbytes / (1 << 20))
+
+    # -- rendezvous core --------------------------------------------------
+
+    def _begin(self, key: str, participants: Sequence[int]) -> int:
+        seq = self._seq.get(key, 0) + 1
+        self._seq[key] = seq
+        if seq > 1:
+            # slot reuse: everyone must have finished the previous op
+            self._spin(
+                lambda: all(
+                    self._done(key, p) >= seq - 1 for p in participants
+                ),
+                f"site {key} seq {seq - 1} completion",
+            )
+        return seq
+
+    def _publish(self, key: str, seq: int, arr: np.ndarray) -> None:
+        arr = np.asarray(arr)
+        if not arr.flags["C_CONTIGUOUS"]:
+            # (ascontiguousarray unconditionally would promote 0-d
+            # scalars to shape (1,) and break the payload round-trip)
+            arr = np.ascontiguousarray(arr)
+        self._write_header(key, arr)
+        view = self._payload_view(key, self.rank, arr.shape, arr.dtype)
+        view[...] = arr
+        del view
+        self._wire_sleep(arr.nbytes)
+        self._set_ready(key, self.rank, seq * PROGRESS_BASE + 1)
+
+    def _collect(
+        self, key: str, seq: int, ranks: Sequence[int]
+    ) -> List[np.ndarray]:
+        out = []
+        want = seq * PROGRESS_BASE + 1
+        for r in ranks:
+            self._spin(
+                lambda r=r: self._ready(key, r) >= want,
+                f"rank {r}'s payload at site {key}",
+            )
+            out.append(self._read_payload(key, r))
+        return out
+
+    def _finish(self, key: str, seq: int) -> None:
+        self._set_done(key, self.rank, seq)
+
+    def _exchange_group(
+        self, group: ProcessGroup, arr: np.ndarray
+    ) -> List[np.ndarray]:
+        """All-to-all-gather one payload per rank, in rank order."""
+        key = _group_key(group)
+        parts = tuple(group.ranks)
+        seq = self._begin(key, parts)
+        self._publish(key, seq, np.asarray(arr))
+        rows = self._collect(key, seq, parts)
+        self._finish(key, seq)
+        return rows
+
+    # -- collectives ------------------------------------------------------
+    #
+    # Each method mirrors the corresponding ``*_vectorized`` formula of
+    # :mod:`repro.runtime.collectives` on a contiguous rank-major stack,
+    # so results are bit-identical to the vectorized backend.
+
+    def _reduced_total(self, x, group: ProcessGroup, op: str) -> np.ndarray:
+        token = self._tokens.pop(_group_key(group), None)
+        if token is not None:
+            return self._token_reduce(token, op)
+        rows = self._exchange_group(group, x)
+        return _reduce_stack(np.stack(rows, axis=0), op)
+
+    def allreduce(self, x, group: ProcessGroup, op: str, dtype) -> np.ndarray:
+        """Every rank receives the reduction of all ranks' values."""
+        return self._reduced_total(x, group, op).astype(dtype)
+
+    def reducescatter(
+        self, x, group: ProcessGroup, op: str, dim: int, dtype,
+        context: str = "",
+    ) -> np.ndarray:
+        """This rank receives its slice of the reduction."""
+        total = self._reduced_total(x, group, op).astype(dtype)
+        i = group.local_rank(self.rank)
+        return slice_of(total, dim, i, group.size, context=context).copy()
+
+    def _gather_rows(self, x, group: ProcessGroup) -> List[np.ndarray]:
+        token = self._tokens.pop(_group_key(group), None)
+        if token is not None:
+            return self._token_rows(token)
+        return self._exchange_group(group, x)
+
+    def allgather(self, x, group: ProcessGroup, dim: int) -> np.ndarray:
+        """Concatenation of all ranks' slices, in rank order."""
+        rows = self._gather_rows(x, group)
+        return np.concatenate(rows, axis=dim)
+
+    def alltoall(
+        self, x, group: ProcessGroup, dim: int, context: str = ""
+    ) -> np.ndarray:
+        """This rank receives chunk ``i`` of every rank, in source order.
+
+        Peers are drained in the pairwise step order of
+        :func:`repro.nccl.algorithms.all_to_all_steps` (in step ``t``
+        rank ``r`` receives from ``(r - t - 1) mod n``); the result is
+        assembled in source-rank order, matching the reference. A
+        pending chunk token on the group is consumed chunk-by-chunk
+        like every other collective.
+        """
+        n = group.size
+        i = group.local_rank(self.rank)
+        token = self._tokens.pop(_group_key(group), None)
+        if token is not None:
+            rows = dict(enumerate(self._token_rows(token)))
+        else:
+            key = _group_key(group)
+            parts = tuple(group.ranks)
+            seq = self._begin(key, parts)
+            self._publish(key, seq, np.asarray(x))
+            rows = {}
+            order = [i] + [(i - t - 1) % n for t in range(n - 1)]
+            for j in order:
+                rows[j] = self._collect(
+                    key, seq, [group.global_rank(j)]
+                )[0]
+            self._finish(key, seq)
+        parts_out = [
+            slice_of(rows[s], dim, i, n, context=context) for s in range(n)
+        ]
+        return np.concatenate(parts_out, axis=dim)
+
+    def alltoall_intra(
+        self, x, group: ProcessGroup, dim: int, node_size: int,
+        context: str = "",
+    ) -> np.ndarray:
+        """Intra-node phase of the hierarchical AllToAll (this rank)."""
+        k, m = self._node_grid(group, node_size)
+        n = group.size
+        rows = self._gather_rows(x, group)
+        local = group.local_rank(self.rank)
+        a, q = divmod(local, m)
+        parts = [
+            slice_of(
+                rows[a * m + p], dim, b * m + q, n, context=context
+            )
+            for b in range(k)
+            for p in range(m)
+        ]
+        return np.concatenate(parts, axis=dim)
+
+    def alltoall_inter(
+        self, x, group: ProcessGroup, dim: int, node_size: int,
+        context: str = "",
+    ) -> np.ndarray:
+        """Inter-node phase of the hierarchical AllToAll (this rank)."""
+        k, m = self._node_grid(group, node_size)
+        n = group.size
+        rows = self._gather_rows(x, group)
+        local = group.local_rank(self.rank)
+        b, q = divmod(local, m)
+        parts = [
+            slice_of(
+                rows[a * m + q], dim, b * m + p, n, context=context
+            )
+            for a in range(k)
+            for p in range(m)
+        ]
+        return np.concatenate(parts, axis=dim)
+
+    @staticmethod
+    def _node_grid(group: ProcessGroup, node_size: int) -> Tuple[int, int]:
+        n = group.size
+        m = min(max(1, int(node_size)), n)
+        if n % m != 0:
+            raise ExecutionError(
+                f"group size {n} is not divisible by node size {m}"
+            )
+        return n // m, m
+
+    def reduce(
+        self, x, group: ProcessGroup, op: str, root: int, dtype
+    ) -> np.ndarray:
+        """Root receives the reduction; non-roots keep their input
+        (NCCL leaves non-root receive buffers unmodified).
+
+        Only the root reads (and reduces) the published payloads; every
+        rank still contributes one, and the sequence counters keep the
+        rendezvous symmetric.
+        """
+        root_rank = group.global_rank(root)
+        token = self._tokens.pop(_group_key(group), None)
+        if token is not None:
+            total = self._token_reduce(token, op)
+            if self.rank == root_rank:
+                return total.astype(dtype)
+            return np.asarray(x).astype(dtype)
+        key = _group_key(group)
+        parts = tuple(group.ranks)
+        seq = self._begin(key, parts)
+        self._publish(key, seq, np.asarray(x))
+        if self.rank == root_rank:
+            rows = self._collect(key, seq, parts)
+            out = _reduce_stack(np.stack(rows, axis=0), op).astype(dtype)
+        else:
+            out = np.asarray(x).astype(dtype)
+        self._finish(key, seq)
+        return out
+
+    def broadcast(self, x, group: ProcessGroup, root: int) -> np.ndarray:
+        """Every rank receives the root rank's value.
+
+        Only the root publishes a payload — one wire transfer, not one
+        per rank — while the sequence counters still rendezvous the
+        whole group.
+        """
+        root_rank = group.global_rank(root)
+        token = self._tokens.pop(_group_key(group), None)
+        if token is not None:
+            rows = self._token_rows(token)
+            return rows[group.local_rank(root_rank)]
+        key = _group_key(group)
+        parts = tuple(group.ranks)
+        seq = self._begin(key, parts)
+        if self.rank == root_rank:
+            self._publish(key, seq, np.asarray(x))
+            out = np.array(x, copy=True)
+        else:
+            out = self._collect(key, seq, [root_rank])[0]
+        self._finish(key, seq)
+        return out
+
+    def exchange_scalars(self, value, group: ProcessGroup) -> List[np.float64]:
+        """Gather one float64 scalar per rank, in rank order (§5.2:
+        the AllReduce of partial reductions)."""
+        rows = self._exchange_group(
+            group, np.asarray(value, dtype=np.float64)
+        )
+        return [np.float64(r) for r in rows]
+
+    def barrier(self, group: Optional[ProcessGroup] = None) -> None:
+        if group is None:
+            group = ProcessGroup(0, self.nranks, self.nranks)
+        self._exchange_group(group, np.zeros((1,), dtype=np.int64))
+
+    # -- P2P --------------------------------------------------------------
+
+    def send(self, x, dst: int) -> None:
+        """Send this rank's value to global rank ``dst``."""
+        key = _p2p_key(self.rank, dst)
+        seq = self._begin(key, (self.rank, dst))
+        self._publish(key, seq, np.asarray(x))
+        self._finish(key, seq)
+
+    def recv(self, src: int) -> np.ndarray:
+        """Receive the value global rank ``src`` sent to this rank."""
+        key = _p2p_key(src, self.rank)
+        seq = self._begin(key, (src, self.rank))
+        out = self._collect(key, seq, [src])[0]
+        self._finish(key, seq)
+        return out
+
+    # -- chunked ring publication (overlap, §5.3) -------------------------
+
+    def begin_chunked(
+        self,
+        group: ProcessGroup,
+        staging: np.ndarray,
+        chunk_dim: int,
+        bounds: Sequence[Tuple[int, int]],
+    ) -> _ChunkToken:
+        """Open a chunked publication of ``staging`` on the group site.
+
+        The next collective this rank issues on ``group`` consumes the
+        token chunk-by-chunk instead of exchanging whole buffers.
+
+        Chunks are released in *index order* on every rank. The real
+        backend's ring collective consumes rank-rotated chunks (rank
+        ``i`` starts at chunk ``i``, Figure 9) because the reduction
+        travels around the ring; this communicator's collectives reduce
+        in rank order (the bitwise contract with the lowered oracle), so
+        chunk ``c`` is complete once every rank published its ``c``-th
+        release — under rotation that only happens at the final step for
+        *every* chunk, which would serialize the pipeline, while index
+        order completes chunk ``c`` at step ``c`` and genuinely overlaps
+        the consumer's reduction with the remaining chunks' wire time.
+        """
+        key = _group_key(group)
+        parts = tuple(group.ranks)
+        seq = self._begin(key, parts)
+        staging = np.asarray(staging)
+        if not staging.flags["C_CONTIGUOUS"]:
+            staging = np.ascontiguousarray(staging)
+        self._write_header(key, staging)
+        token = _ChunkToken(key, group, seq, staging, chunk_dim, bounds)
+        self._tokens[key] = token
+        return token
+
+    def publish_chunks(
+        self, token: _ChunkToken, out: Optional[np.ndarray] = None
+    ) -> None:
+        """Release the staged chunks, one wire transfer per chunk.
+
+        ``out``, when given, receives each chunk as it is published —
+        the consumer-visible buffer of the lowered ``publish`` mode.
+        """
+        staging = token.staging
+        bounds = token.bounds
+        view = self._payload_view(
+            token.key, self.rank, staging.shape, staging.dtype
+        )
+        try:
+            for c in range(len(bounds)):
+                lo, hi = bounds[c]
+                sl = [slice(None)] * staging.ndim
+                sl[token.chunk_dim] = slice(lo, hi)
+                sl = tuple(sl)
+                view[sl] = staging[sl]
+                if out is not None:
+                    out[sl] = staging[sl]
+                self._wire_sleep(staging[sl].nbytes)
+                self._set_ready(
+                    token.key, self.rank,
+                    token.seq * PROGRESS_BASE + c + 1,
+                )
+        finally:
+            del view
+
+    def _chunk_wait(self, token: _ChunkToken, local: int, c: int) -> None:
+        """Wait until group-local rank ``local`` published chunk ``c``."""
+        want = token.seq * PROGRESS_BASE + c + 1
+        r = token.group.global_rank(local)
+        self._spin(
+            lambda: self._ready(token.key, r) >= want,
+            f"chunk {c} from rank {r} at site {token.key}",
+        )
+
+    def _token_reduce(self, token: _ChunkToken, op: str) -> np.ndarray:
+        """Chunk-wise rank-order reduction of a chunked publication.
+
+        Reductions over the rank axis are element-wise in the data
+        dimensions, so accumulating chunk ``c`` as soon as every rank
+        published it is bit-identical to reducing the whole stack —
+        while genuinely overlapping the reduce with the remaining
+        chunks' wire time.
+        """
+        group = token.group
+        n = group.size
+        shape, dtype = token.staging.shape, token.staging.dtype
+        total = np.empty(shape, dtype=np.float64)
+        views = [
+            self._payload_view(token.key, r, shape, dtype)
+            for r in group.ranks
+        ]
+        try:
+            for c in range(len(token.bounds)):
+                lo, hi = token.bounds[c]
+                sl = [slice(None)] * len(shape)
+                sl[token.chunk_dim] = slice(lo, hi)
+                sl = tuple(sl)
+                rows = []
+                for j in range(n):
+                    self._chunk_wait(token, j, c)
+                    rows.append(np.ascontiguousarray(views[j][sl]))
+                total[sl] = _reduce_stack(np.stack(rows, axis=0), op)
+        finally:
+            del views
+        self._finish(token.key, token.seq)
+        return total
+
+    def _token_rows(self, token: _ChunkToken) -> List[np.ndarray]:
+        """Assemble every rank's full chunked publication."""
+        group = token.group
+        shape, dtype = token.staging.shape, token.staging.dtype
+        rows = [np.empty(shape, dtype=dtype) for _ in range(group.size)]
+        views = [
+            self._payload_view(token.key, r, shape, dtype)
+            for r in group.ranks
+        ]
+        try:
+            for c in range(len(token.bounds)):
+                lo, hi = token.bounds[c]
+                sl = [slice(None)] * len(shape)
+                sl[token.chunk_dim] = slice(lo, hi)
+                sl = tuple(sl)
+                for j in range(group.size):
+                    self._chunk_wait(token, j, c)
+                    rows[j][sl] = views[j][sl]
+        finally:
+            del views
+        self._finish(token.key, token.seq)
+        return rows
+
+    # -- streams ----------------------------------------------------------
+
+    def start_stream(self, fn) -> "_Stream":
+        """Run ``fn`` on a worker thread — one per GPU stream, giving
+        overlap groups actual intra-rank concurrency."""
+        return _Stream(fn, self)
+
+    def join_streams(self, *streams: "_Stream") -> None:
+        for s in streams:
+            s.join()
+
+    # -- teardown ---------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._flags = None
+        for shm in (self._data, self._flags_shm):
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still alive
+                pass
+
+
+class _Stream(object):
+    """A worker thread standing in for one GPU stream."""
+
+    def __init__(self, fn, comm: SpmdCommunicator) -> None:
+        import threading
+
+        self._exc: Optional[BaseException] = None
+        self._comm = comm
+
+        def run():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - reraised at join
+                self._exc = exc
+                comm.signal_error(_ERR_FAILED)
+
+        self._thread = threading.Thread(target=run, daemon=True)
+        self._thread.start()
+
+    def join(self) -> None:
+        self._thread.join(self._comm.timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise SpmdTimeout("stream thread did not finish")
+        if self._exc is not None:
+            raise self._exc
+
+
+# ---------------------------------------------------------------------------
+# Worker entry point (must be importable for the spawn context).
+# ---------------------------------------------------------------------------
+
+
+def _rank_main(
+    rank: int,
+    source: str,
+    layout: SpmdLayout,
+    data_name: str,
+    flags_name: str,
+    inputs: Dict[str, np.ndarray],
+    wire_s_per_mb: float,
+    timeout: float,
+    conn,
+) -> None:
+    comm = None
+    try:
+        comm = SpmdCommunicator.attach(
+            layout, rank, data_name, flags_name, wire_s_per_mb, timeout
+        )
+        namespace: Dict[str, object] = {}
+        exec(compile(source, f"<spmd rank {rank}>", "exec"), namespace)
+        # synchronize before timing so spawn stagger (rank 0 idling in
+        # its first collective until the last process is up) does not
+        # count as execution time
+        comm.barrier()
+        t0 = time.perf_counter()
+        outputs, states = namespace["run_rank"](comm, inputs)
+        elapsed = time.perf_counter() - t0
+        conn.send(("ok", outputs, states, elapsed))
+    except SpmdPeerAbort as exc:
+        conn.send(("aborted", str(exc)))
+    except BaseException as exc:  # noqa: BLE001 - reported to the parent
+        if comm is not None:
+            comm.signal_error(_ERR_FAILED)
+        conn.send(
+            (
+                "error",
+                f"rank {rank}: {type(exc).__name__}: {exc}",
+                traceback.format_exc(),
+            )
+        )
+    finally:
+        if comm is not None:
+            comm.close()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent-side launcher.
+# ---------------------------------------------------------------------------
+
+
+def _place_per_rank(
+    program, inputs: Mapping[str, np.ndarray], allow_downcast
+) -> List[Dict[str, np.ndarray]]:
+    """Scatter global inputs into per-rank shards (reference placement)."""
+    world_size = program.inputs[0].group.world_size
+    world = SimWorld(world_size, reference=True)
+    for t in program.inputs:
+        if t.name not in inputs:
+            raise ExecutionError(f"missing input {t.name!r}")
+        world.place_input(
+            t, np.asarray(inputs[t.name]), allow_downcast=allow_downcast
+        )
+    extra = set(inputs) - {t.name for t in program.inputs}
+    if extra:
+        raise ExecutionError(f"unknown inputs: {sorted(extra)}")
+    shards: List[Dict[str, np.ndarray]] = []
+    for r in range(world_size):
+        shards.append(
+            {
+                name: per_rank[r]
+                for name, per_rank in world.storage.items()
+                if r in per_rank
+            }
+        )
+    return shards
+
+
+def _assemble(e, per_rank: Dict[int, np.ndarray]) -> np.ndarray:
+    from repro.runtime.executor import Executor
+
+    return Executor._assemble(e, per_rank)
+
+
+def launch(
+    source: str,
+    program,
+    inputs: Mapping[str, np.ndarray],
+    *,
+    nranks: Optional[int] = None,
+    allow_downcast: Optional[bool] = None,
+    wire_s_per_mb: float = 0.0,
+    timeout: Optional[float] = None,
+):
+    """Run a generated SPMD module as one process per rank.
+
+    Spawns ``world_size`` processes, scatters the placed inputs, executes
+    ``run_rank`` on every rank over a shared-memory communicator, gathers
+    per-rank outputs/states and reassembles them into a
+    :class:`~repro.runtime.executor.ProgramResult`. Teardown is
+    exception-safe: workers are joined (terminated on timeout) and both
+    shared-memory segments are closed and unlinked in a ``finally`` even
+    when a rank raises mid-collective.
+    """
+    from repro.runtime.executor import ProgramResult
+
+    world_size = program.inputs[0].group.world_size
+    if nranks is not None and nranks != world_size:
+        raise ExecutionError(
+            f"program was built for {world_size} ranks; cannot launch "
+            f"{nranks} SPMD processes — rebuild the workload with "
+            f"world_size={nranks}"
+        )
+    timeout = DEFAULT_TIMEOUT if timeout is None else float(timeout)
+    shards = _place_per_rank(program, inputs, allow_downcast)
+    layout = build_layout(program)
+
+    uid = uuid.uuid4().hex[:8]
+    data_name = f"spmd_{uid}_d"
+    flags_name = f"spmd_{uid}_f"
+    data = flags = None
+    procs: List = []
+    conns: List = []
+    failure: Optional[str] = None
+    detail = ""
+    results: Dict[int, Tuple[Dict, Dict]] = {}
+    try:
+        data = SharedMemory(
+            create=True, size=layout.data_size, name=data_name
+        )
+        flags = SharedMemory(
+            create=True, size=layout.flags_length() * 8, name=flags_name
+        )
+        np.ndarray(
+            (layout.flags_length(),), dtype=np.int64, buffer=flags.buf
+        ).fill(0)
+
+        ctx = get_context("spawn")
+        for r in range(world_size):
+            parent_conn, child_conn = ctx.Pipe()
+            p = ctx.Process(
+                target=_rank_main,
+                args=(
+                    r, source, layout, data_name, flags_name, shards[r],
+                    wire_s_per_mb, timeout, child_conn,
+                ),
+                daemon=True,
+            )
+            p.start()
+            child_conn.close()
+            procs.append(p)
+            conns.append(parent_conn)
+
+        deadline = time.monotonic() + timeout + 60.0
+        for r, conn in enumerate(conns):
+            remaining = max(0.1, deadline - time.monotonic())
+            if not conn.poll(remaining):
+                failure = failure or (
+                    f"rank {r} did not report within {timeout:.0f}s"
+                )
+                continue
+            try:
+                msg = conn.recv()
+            except EOFError:
+                failure = failure or f"rank {r} died without reporting"
+                continue
+            if msg[0] == "ok":
+                results[r] = (msg[1], msg[2], msg[3])
+            elif msg[0] == "error":
+                if failure is None or "aborting, peer" in failure:
+                    failure = msg[1]
+                    detail = msg[2]
+            else:  # aborted by a peer's failure
+                if failure is None:
+                    failure = msg[1]
+    finally:
+        for p in procs:
+            p.join(timeout=5.0)
+        for p in procs:
+            if p.is_alive():  # pragma: no cover - hung worker
+                p.terminate()
+                p.join(timeout=5.0)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for shm in (data, flags):
+            if shm is not None:
+                try:
+                    shm.close()
+                finally:
+                    try:
+                        shm.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
+    if failure is not None:
+        raise ExecutionError(
+            f"SPMD run failed: {failure}" + (f"\n{detail}" if detail else "")
+        )
+
+    outputs = {}
+    for o in program.outputs:
+        per_rank = {r: results[r][0][o.name] for r in o.group}
+        outputs[o.name] = _assemble(o, per_rank)
+    states = {}
+    for t in program.inputs:
+        if not isinstance(t, Tensor):
+            continue
+        per_rank = {r: results[r][1][t.name] for r in t.group}
+        states[t.name] = _assemble(t, per_rank)
+    result = ProgramResult(outputs, states)
+    # per-rank wall-clock of the rank bodies (barrier-synchronized, so
+    # process spawn time is excluded); the slowest rank is the step time
+    result.spmd_rank_seconds = {r: results[r][2] for r in results}
+    result.spmd_seconds = max(results[r][2] for r in results)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Persistent worker pool: direct collective calls for the property tests.
+# ---------------------------------------------------------------------------
+
+
+def _pool_worker(
+    rank: int,
+    layout: SpmdLayout,
+    data_name: str,
+    flags_name: str,
+    timeout: float,
+    conn,
+) -> None:
+    comm = None
+    try:
+        comm = SpmdCommunicator.attach(
+            layout, rank, data_name, flags_name, 0.0, timeout
+        )
+        while True:
+            cmd = conn.recv()
+            if cmd[0] == "stop":
+                break
+            _, method, args, kwargs = cmd
+            try:
+                result = getattr(comm, method)(*args, **kwargs)
+                conn.send(("ok", result))
+            except SpmdPeerAbort:  # pragma: no cover - raced abort
+                conn.send(("error", "aborted by peer"))
+            except Exception as exc:
+                comm.signal_error(_ERR_FAILED)
+                conn.send(("error", f"{type(exc).__name__}: {exc}"))
+                # collective state is poisoned; peers saw the error flag
+                break
+    finally:
+        if comm is not None:
+            comm.close()
+        conn.close()
+
+
+class CollectivePool:
+    """``nranks`` persistent worker processes for direct collective calls.
+
+    Used by the property tests to drive thousands of communicator
+    collectives without paying a process spawn per example. ``call``
+    broadcasts one method invocation to every worker (each receives its
+    own row of the stacked input) and returns the per-rank results in
+    rank order.
+    """
+
+    def __init__(
+        self,
+        nranks: int,
+        slot_bytes: int = 1 << 20,
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        self.nranks = nranks
+        self.timeout = float(timeout)
+        layout = SpmdLayout(nranks)
+        layout.add_site(
+            _group_key(ProcessGroup(0, nranks, nranks)),
+            range(nranks),
+            slot_bytes,
+        )
+        layout.freeze()
+        self.layout = layout
+        uid = uuid.uuid4().hex[:8]
+        self._data = SharedMemory(
+            create=True, size=layout.data_size,
+            name=f"spmdpool_{uid}_d",
+        )
+        self._flags = SharedMemory(
+            create=True, size=layout.flags_length() * 8,
+            name=f"spmdpool_{uid}_f",
+        )
+        np.ndarray(
+            (layout.flags_length(),), dtype=np.int64, buffer=self._flags.buf
+        ).fill(0)
+        ctx = get_context("spawn")
+        self._procs = []
+        self._conns = []
+        for r in range(nranks):
+            parent_conn, child_conn = ctx.Pipe()
+            p = ctx.Process(
+                target=_pool_worker,
+                args=(
+                    r, layout, self._data.name, self._flags.name,
+                    timeout, child_conn,
+                ),
+                daemon=True,
+            )
+            p.start()
+            child_conn.close()
+            self._procs.append(p)
+            self._conns.append(parent_conn)
+
+    def call(
+        self, method: str, per_rank_args: Sequence[tuple],
+        kwargs: Optional[dict] = None,
+    ) -> List[np.ndarray]:
+        """Invoke ``method`` on every worker; per-rank positional args."""
+        kwargs = kwargs or {}
+        for conn, args in zip(self._conns, per_rank_args):
+            conn.send(("call", method, args, kwargs))
+        out = []
+        errors = []
+        for r, conn in enumerate(self._conns):
+            if not conn.poll(self.timeout):
+                errors.append(f"rank {r}: no reply")
+                continue
+            status, payload = conn.recv()
+            if status == "ok":
+                out.append(payload)
+            else:
+                errors.append(f"rank {r}: {payload}")
+        if errors:
+            raise SpmdError("; ".join(errors))
+        return out
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for p in self._procs:
+            p.join(timeout=5.0)
+            if p.is_alive():  # pragma: no cover
+                p.terminate()
+                p.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        for shm in (self._data, self._flags):
+            try:
+                shm.close()
+            finally:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass

@@ -84,11 +84,18 @@ class Candidate:
 
 @dataclass
 class TuneResult:
-    """Output of one autotuner run."""
+    """Output of one autotuner run.
+
+    ``metrics``, when the tuner was given a metrics registry, is that
+    registry — search counters (``tuner.candidates``, ``tuner.pruned``,
+    ``tuner.dedup_hits``, ``tuner.transform_errors``) plus the cost
+    model's memo statistics (``cost_model.*``).
+    """
 
     best: Candidate
     candidates: List[Candidate]
     elapsed_seconds: float
+    metrics: Optional[object] = None
 
     def report(self) -> str:
         lines = [
@@ -127,9 +134,13 @@ class Autotuner:
         max_depth: int = 4,
         prune: bool = True,
         baseline: bool = False,
+        metrics=None,
     ) -> None:
         self.cluster = cluster
         self.baseline = baseline
+        #: optional repro.observe.MetricsRegistry (duck-typed: anything
+        #: with inc/set) receiving search and cost-model counters
+        self.metrics = metrics
         self.prune = prune and not baseline
         if cost_model_factory is None:
             if baseline:
@@ -376,7 +387,7 @@ class Autotuner:
             key=lambda c: c.time,
         )
         elapsed = _time.perf_counter() - t0
-        return TuneResult(best, candidates, elapsed)
+        return TuneResult(best, candidates, elapsed, metrics=self.metrics)
 
     def _search(self, program: Program) -> List[Candidate]:
         """BFS over moves; candidates deduplicated by plan signature.
@@ -392,6 +403,8 @@ class Autotuner:
         candidates: List[Candidate] = []
         best_time = float("inf")
 
+        metrics = self.metrics
+
         def evaluate(name: str, moves: Tuple[Move, ...], sched: Schedule):
             nonlocal best_time
             cutoff = best_time if self.prune else None
@@ -399,6 +412,10 @@ class Autotuner:
             candidates.append(
                 Candidate(name, moves, sched, ev.time, pruned=ev.pruned)
             )
+            if metrics is not None:
+                metrics.inc("tuner.candidates")
+                if ev.pruned:
+                    metrics.inc("tuner.pruned")
             if not ev.pruned and ev.time < best_time:
                 best_time = ev.time
 
@@ -423,15 +440,22 @@ class Autotuner:
                             child = sched.fork()
                             self._apply(child, m)
                     except TransformError:
+                        if metrics is not None:
+                            metrics.inc("tuner.transform_errors")
                         continue
                     sig = self._plan_signature(child)
                     if sig in seen:
+                        if metrics is not None:
+                            metrics.inc("tuner.dedup_hits")
                         continue
                     seen.add(sig)
                     evaluate(_script_name(script), script, child)
                     if len(script) < self.max_depth:
                         next_level.append((child, script))
             level = next_level
+        if metrics is not None and hasattr(cost, "memo_stats"):
+            for name, value in cost.memo_stats().items():
+                metrics.set(f"cost_model.{name}", value)
         return candidates
 
 

@@ -1,0 +1,52 @@
+"""Unified tracing & metrics: measured timelines, predicted-schedule
+events, Perfetto export, and predicted-vs-measured validation.
+
+One event vocabulary across every layer of the stack:
+
+* :class:`Tracer` + typed events (:mod:`repro.observe.events`) — the
+  measured side, recorded by ``Executor.run_lowered`` and merged from
+  the SPMD backend's per-rank ring buffers.
+* :class:`TraceRing` / :func:`merge_rank_traces`
+  (:mod:`repro.observe.ring`) — file-backed per-rank buffers that
+  survive process boundaries and faulty-rank teardown.
+* :mod:`repro.observe.compare` — joins a DES-predicted ``Timeline``
+  with measured spans into a per-op latency-ratio table.
+* :mod:`repro.observe.perfetto` — Chrome/Perfetto ``trace_event``
+  JSON export (open at https://ui.perfetto.dev).
+"""
+
+from repro.observe.compare import (
+    OpComparison,
+    TimelineComparison,
+    compare_timelines,
+)
+from repro.observe.events import (
+    CounterEvent,
+    InstantEvent,
+    SpanEvent,
+    Tracer,
+    describe_events,
+)
+from repro.observe.metrics import MetricsRegistry
+from repro.observe.perfetto import export, to_trace_events, validate, write_trace
+from repro.observe.record import LoweredRunRecorder
+from repro.observe.ring import TraceRing, merge_rank_traces
+
+__all__ = [
+    "Tracer",
+    "SpanEvent",
+    "InstantEvent",
+    "CounterEvent",
+    "describe_events",
+    "MetricsRegistry",
+    "LoweredRunRecorder",
+    "TraceRing",
+    "merge_rank_traces",
+    "OpComparison",
+    "TimelineComparison",
+    "compare_timelines",
+    "to_trace_events",
+    "export",
+    "validate",
+    "write_trace",
+]

@@ -1,0 +1,62 @@
+"""A flat named-scalar metrics registry.
+
+One registry per tracer (or per autotuner run) holds counters and
+gauges under dotted names — ``tuner.candidates``, ``tuner.dedup_hits``,
+``cost_model.memo_hit_rate``, ``spmd.rank0.bytes_published`` — so every
+layer surfaces its statistics through the same object the exporters
+read. Counters are plain Python floats behind a dict; ``inc`` on a hot
+path costs one dict lookup.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+__all__ = ["MetricsRegistry"]
+
+
+class MetricsRegistry:
+    """Named counters and gauges."""
+
+    def __init__(self) -> None:
+        self._values: Dict[str, float] = {}
+
+    def inc(self, name: str, n: float = 1) -> float:
+        """Add ``n`` to counter ``name`` (created at 0); returns it."""
+        v = self._values.get(name, 0) + n
+        self._values[name] = v
+        return v
+
+    def set(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        self._values[name] = value
+
+    def get(self, name: str, default: float = 0) -> float:
+        return self._values.get(name, default)
+
+    def snapshot(self) -> Dict[str, float]:
+        return dict(self._values)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Accumulate another registry's counters into this one."""
+        for name, value in other.snapshot().items():
+            self.inc(name, value)
+
+    def describe(self) -> str:
+        if not self._values:
+            return "(no metrics)"
+        width = max(len(k) for k in self._values)
+        lines = []
+        for name in sorted(self._values):
+            v = self._values[name]
+            shown = f"{v:.4f}".rstrip("0").rstrip(".") if isinstance(
+                v, float
+            ) else str(v)
+            lines.append(f"{name:<{width}}  {shown}")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values

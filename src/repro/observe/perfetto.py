@@ -1,0 +1,157 @@
+"""Chrome/Perfetto ``trace_event`` JSON export.
+
+Converts the typed event lists of :mod:`repro.observe.events` into the
+`trace-event format`__ that ``chrome://tracing`` and ``ui.perfetto.dev``
+open directly: each (pid, tid) pair becomes a named track, spans become
+complete ("X") events with microsecond timestamps, instants become "i"
+events and counters become "C" series. Our string pids/tids ("main",
+"rank0", an issue-stream name) map onto the integer ids the format
+requires, with "M" metadata events carrying the human names.
+
+__ https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List
+
+from repro.observe.events import CounterEvent, InstantEvent, SpanEvent
+
+__all__ = ["to_trace_events", "export", "write_trace", "validate"]
+
+_PHASES = {"X", "i", "C", "M"}
+
+
+def to_trace_events(events: Iterable[object]) -> List[dict]:
+    """Lower typed events to ``trace_event`` dicts (ts/dur in µs)."""
+    pids: Dict[str, int] = {}
+    tids: Dict[tuple, int] = {}
+    out: List[dict] = []
+
+    def pid_of(name: str) -> int:
+        if name not in pids:
+            pids[name] = len(pids) + 1
+            out.append(
+                {
+                    "name": "process_name", "ph": "M", "pid": pids[name],
+                    "tid": 0, "args": {"name": name},
+                }
+            )
+        return pids[name]
+
+    def tid_of(pid_name: str, tid_name: str) -> int:
+        key = (pid_name, tid_name)
+        if key not in tids:
+            tids[key] = len(tids) + 1
+            out.append(
+                {
+                    "name": "thread_name", "ph": "M",
+                    "pid": pid_of(pid_name), "tid": tids[key],
+                    "args": {"name": tid_name},
+                }
+            )
+        return tids[key]
+
+    for ev in events:
+        if isinstance(ev, SpanEvent):
+            out.append(
+                {
+                    "name": ev.name, "cat": ev.cat or "span", "ph": "X",
+                    "ts": ev.ts * 1e6, "dur": ev.dur * 1e6,
+                    "pid": pid_of(ev.pid), "tid": tid_of(ev.pid, ev.tid),
+                    "args": dict(ev.args),
+                }
+            )
+        elif isinstance(ev, InstantEvent):
+            out.append(
+                {
+                    "name": ev.name, "cat": ev.cat or "instant", "ph": "i",
+                    "ts": ev.ts * 1e6, "s": "t",
+                    "pid": pid_of(ev.pid), "tid": tid_of(ev.pid, ev.tid),
+                    "args": dict(ev.args),
+                }
+            )
+        elif isinstance(ev, CounterEvent):
+            out.append(
+                {
+                    "name": ev.name, "ph": "C", "ts": ev.ts * 1e6,
+                    "pid": pid_of(ev.pid), "tid": tid_of(ev.pid, ev.tid),
+                    "args": {"value": ev.value},
+                }
+            )
+    return out
+
+
+def export(events: Iterable[object]) -> dict:
+    """The full JSON-object form Perfetto opens."""
+    return {
+        "traceEvents": to_trace_events(events),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_trace(events: Iterable[object], path: str) -> dict:
+    """Export ``events`` and write the JSON document to ``path``."""
+    doc = export(events)
+    with open(path, "w") as f:
+        json.dump(doc, f)
+    return doc
+
+
+def validate(doc: dict) -> List[str]:
+    """Schema-check an exported document; returns problems (empty = ok).
+
+    Covers the invariants the viewers actually rely on: a traceEvents
+    list, known phases, integer pid/tid, finite non-negative ts/dur,
+    JSON-serializable args, and "M" name metadata for every (pid, tid)
+    referenced by a timed event.
+    """
+    problems: List[str] = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    named_pids, named_tids = set(), set()
+    used_pids, used_tids = set(), set()
+    for i, ev in enumerate(events):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            problems.append(f"{where}: missing name")
+        pid, tid = ev.get("pid"), ev.get("tid")
+        if not isinstance(pid, int) or not isinstance(tid, int):
+            problems.append(f"{where}: pid/tid must be ints")
+            continue
+        if ph == "M":
+            if ev["name"] == "process_name":
+                named_pids.add(pid)
+            elif ev["name"] == "thread_name":
+                named_tids.add((pid, tid))
+            continue
+        used_pids.add(pid)
+        if ph != "C":
+            used_tids.add((pid, tid))
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts != ts or ts < 0:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur != dur or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+        if ph == "i" and ev.get("s") not in (None, "g", "p", "t"):
+            problems.append(f"{where}: bad instant scope {ev.get('s')!r}")
+        try:
+            json.dumps(ev.get("args", {}))
+        except (TypeError, ValueError):
+            problems.append(f"{where}: args not JSON-serializable")
+    for pid in sorted(used_pids - named_pids):
+        problems.append(f"pid {pid} has no process_name metadata")
+    for pid, tid in sorted(used_tids - named_tids):
+        problems.append(f"(pid {pid}, tid {tid}) has no thread_name metadata")
+    return problems

@@ -115,6 +115,36 @@ class Timeline:
             for name, (s, e) in items
         )
 
+    def to_events(
+        self, tasks: Optional[Sequence[Task]] = None, pid: str = "predicted"
+    ) -> List[object]:
+        """The predicted schedule in the measured-trace event schema.
+
+        Every scheduled task becomes a
+        :class:`repro.observe.SpanEvent` with category ``"predicted"``
+        on the track of the resource it occupied, so exporters and the
+        predicted-vs-measured aligner consume DES output exactly like a
+        real trace. ``tasks``, when given, supplies the dependency edges
+        carried in each span's args.
+        """
+        from repro.observe.events import SpanEvent
+
+        deps = {t.name: list(t.deps) for t in tasks} if tasks else {}
+        events: List[object] = []
+        for name, (start, end) in sorted(
+            self.spans.items(), key=lambda kv: kv[1][0]
+        ):
+            args: Dict[str, object] = {}
+            if name in deps:
+                args["deps"] = deps[name]
+            events.append(
+                SpanEvent(
+                    name, "predicted", start, end - start, pid,
+                    self.resources.get(name, "sim"), args,
+                )
+            )
+        return events
+
 
 class Engine:
     """Greedy list scheduler over dependent tasks.

@@ -126,6 +126,8 @@ class ProgramCostModel:
         # keyed by member-expression identity; the value keeps the
         # expression tuple alive so ids cannot be recycled under the key
         self._kernel_memo: Dict[tuple, Tuple[KernelCost, tuple]] = {}
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     # -- public API -----------------------------------------------------
 
@@ -180,6 +182,15 @@ class ProgramCostModel:
             for k in lowered.plan.kernels
         }
 
+    def memo_stats(self) -> Dict[str, float]:
+        """Aggregate memo hit/miss counters across every cache."""
+        total = self._memo_hits + self._memo_misses
+        return {
+            "memo_hits": float(self._memo_hits),
+            "memo_misses": float(self._memo_misses),
+            "memo_hit_rate": self._memo_hits / total if total else 0.0,
+        }
+
     # -- internals ------------------------------------------------------
 
     def _lowered_of(
@@ -219,7 +230,9 @@ class ProgramCostModel:
         key = (kernel.kind, tuple(id(e) for e in kernel.exprs))
         hit = self._kernel_memo.get(key)
         if hit is not None:
+            self._memo_hits += 1
             return hit[0]
+        self._memo_misses += 1
         cost = self._kernel_cost(kernel)
         self._kernel_memo[key] = (cost, kernel.exprs)
         return cost
@@ -356,9 +369,12 @@ class ProgramCostModel:
         key = (group.start, group.size)
         ring = self._ring_memo.get(key)
         if ring is None:
+            self._memo_misses += 1
             ring = build_ring(self.cluster, group)
             if self.memoize:
                 self._ring_memo[key] = ring
+        else:
+            self._memo_hits += 1
         return ring
 
     def _ring_min_time(
@@ -368,7 +384,9 @@ class ProgramCostModel:
         key = (kind, nbytes, group.start, group.size, node_size)
         cached = self._ring_sweep_memo.get(key)
         if cached is not None:
+            self._memo_hits += 1
             return cached
+        self._memo_misses += 1
         ring = self._ring(group)
         best = min(
             collective_time(
@@ -387,7 +405,9 @@ class ProgramCostModel:
         key = (kind, group.start, group.size, node_size)
         cached = self._latency_memo.get(key)
         if cached is not None:
+            self._memo_hits += 1
             return cached
+        self._memo_misses += 1
         ring = self._ring(group)
         lat = min(
             collective_time(
@@ -416,7 +436,9 @@ class ProgramCostModel:
         key = (kind, nbytes, group.start, group.size, node_size, ring_only)
         cached = self._collective_memo.get(key)
         if cached is not None:
+            self._memo_hits += 1
             return cached
+        self._memo_misses += 1
         cfg, t = choose_config(
             kind, nbytes, self.cluster, group,
             protocols=self.protocols, channels=self.channels,

@@ -189,6 +189,7 @@ class Executor:
         protocol: str = "Simple",
         wire_s_per_mb: float = 0.0,
         timeout: Optional[float] = None,
+        tracer=None,
     ) -> ProgramResult:
         """Run a schedule as one real OS process per rank.
 
@@ -205,17 +206,48 @@ class Executor:
         charges simulated wire time per published megabyte, letting
         benchmarks measure real overlap; ``timeout`` bounds every
         rendezvous wait so a failing rank cannot deadlock the run.
+
+        ``tracer``, when given (a :class:`repro.observe.Tracer`), makes
+        every rank record publish/wait/reduce/kernel spans into a
+        file-backed ring buffer; the rings are merged into the tracer's
+        event list after the run — *including* when a rank faults, so
+        the timeline of a failed run is still harvested.
         """
         from repro.core.codegen import CodeGenerator
 
         generated = CodeGenerator(protocol, target="spmd").generate(scheduled)
-        return generated.run(
-            inputs,
-            nranks=nranks,
-            allow_downcast=allow_downcast,
-            wire_s_per_mb=wire_s_per_mb,
-            timeout=timeout,
-        )
+        if tracer is None:
+            return generated.run(
+                inputs,
+                nranks=nranks,
+                allow_downcast=allow_downcast,
+                wire_s_per_mb=wire_s_per_mb,
+                timeout=timeout,
+            )
+
+        import shutil
+        import tempfile
+
+        from repro.observe.ring import merge_rank_traces
+
+        trace_dir = tempfile.mkdtemp(prefix="repro_trace_")
+        t_base = tracer.now()
+        try:
+            return generated.run(
+                inputs,
+                nranks=nranks,
+                allow_downcast=allow_downcast,
+                wire_s_per_mb=wire_s_per_mb,
+                timeout=timeout,
+                trace_dir=trace_dir,
+            )
+        finally:
+            tracer.extend(
+                merge_rank_traces(
+                    trace_dir, base=t_base, metrics=tracer.metrics
+                )
+            )
+            shutil.rmtree(trace_dir, ignore_errors=True)
 
     # -- lowered (plan-aware) execution ----------------------------------
 
@@ -225,6 +257,7 @@ class Executor:
         inputs: Mapping[str, np.ndarray],
         allow_downcast: Optional[bool] = None,
         trace: Optional[list] = None,
+        tracer=None,
     ) -> ProgramResult:
         """Interpret the lowered instruction stream of a schedule.
 
@@ -245,7 +278,12 @@ class Executor:
         instruction / chunk: ``("launch", name, stream)``,
         ``("chunkloop", name, num_chunks, ring)``,
         ``("chunk", member, step, chunk)``, ``("whole", member, step)``
-        and ``("pack", name, num_buckets, metadata_bytes)``.
+        and ``("pack", name, num_buckets, metadata_bytes)`` — the legacy
+        tuple protocol, kept as a compat shim. ``tracer``, when a
+        :class:`repro.observe.Tracer`, receives typed *timed*
+        :class:`~repro.observe.SpanEvent` records for the same steps
+        (see :class:`repro.observe.LoweredRunRecorder`); both may be
+        passed together.
         """
         from repro.core.lower import (
             ChunkLoop,
@@ -282,23 +320,25 @@ class Executor:
             elif isinstance(e, (Tensor, Scalar)):
                 values[e] = world.state(e.name)
 
+        rec = None
+        if trace is not None or tracer is not None:
+            from repro.observe.record import LoweredRunRecorder
+
+            rec = LoweredRunRecorder(tracer=tracer, legacy=trace)
+
         for instr in lowered.instructions:
             if isinstance(instr, PackScattered):
-                if trace is not None:
-                    trace.append(
-                        (
-                            "pack", instr.name, instr.num_buckets,
-                            instr.metadata_bytes,
-                        )
-                    )
+                if rec is not None:
+                    rec.pack(instr)
                 continue
             if isinstance(instr, ChunkLoop):
-                self._run_chunk_loop(instr, values, world, trace)
+                self._run_chunk_loop(instr, values, world, rec)
                 continue
+            t0 = rec.now() if rec is not None else 0.0
             for e in instr.exprs:
                 values[e] = self._eval_vec(e, values, world)
-            if trace is not None:
-                trace.append(("launch", instr.name, instr.stream))
+            if rec is not None:
+                rec.launch(instr, t0)
 
         outputs = {
             o.name: self._assemble_vec(o, values[o])
@@ -311,9 +351,7 @@ class Executor:
         }
         return ProgramResult(outputs, states)
 
-    def _run_chunk_loop(
-        self, loop, values, world: SimWorld, trace: Optional[list]
-    ) -> None:
+    def _run_chunk_loop(self, loop, values, world: SimWorld, rec) -> None:
         """Execute one overlap group chunk-by-chunk.
 
         A member advances at most one chunk per sweep, so producer and
@@ -321,10 +359,7 @@ class Executor:
         schedule prescribes (chunk *c* of a consumer only ever reads
         chunk *c* of its producer after it was published).
         """
-        if trace is not None:
-            trace.append(
-                ("chunkloop", loop.name, loop.num_chunks, loop.ring)
-            )
+        loop_t0 = rec.chunkloop_begin(loop) if rec is not None else 0.0
         states = {
             entry.name: {
                 "staging": None, "buffer": None, "buffers": {},
@@ -360,13 +395,15 @@ class Executor:
                 if entry.mode == "whole":
                     if not producers_done(entry):
                         continue
+                    t0 = rec.now() if rec is not None else 0.0
                     for e in entry.instr.exprs:
                         values[e] = self._eval_vec(e, values, world)
                     st["done"] = True
                     progressed = True
-                    if trace is not None:
-                        trace.append(("whole", entry.name, step))
+                    if rec is not None:
+                        rec.whole(entry, step, t0)
                 elif entry.mode == "publish":
+                    t0 = rec.now() if rec is not None else 0.0
                     if st["staging"] is None:
                         if not producers_done(entry):
                             continue
@@ -384,19 +421,20 @@ class Executor:
                     self._publish_chunk(entry, loop, st, c)
                     st["published"] = c + 1
                     progressed = True
-                    if trace is not None:
-                        trace.append(("chunk", entry.name, step, c))
+                    if rec is not None:
+                        rec.chunk(entry, step, c, t0)
                     if st["published"] == loop.num_chunks:
                         st["done"] = True
                 else:  # "compute": genuinely chunked element-wise math
                     c = st["published"]
                     if not chunk_available(entry, c):
                         continue
+                    t0 = rec.now() if rec is not None else 0.0
                     self._compute_chunk(entry, values, st["buffers"], c)
                     st["published"] = c + 1
                     progressed = True
-                    if trace is not None:
-                        trace.append(("chunk", entry.name, step, c))
+                    if rec is not None:
+                        rec.chunk(entry, step, c, t0)
                     if st["published"] == loop.num_chunks:
                         st["done"] = True
             if not progressed or step > limit:
@@ -404,6 +442,8 @@ class Executor:
                     f"chunk loop {loop.name} stalled at step {step}"
                 )
             step += 1
+        if rec is not None:
+            rec.chunkloop_end(loop, loop_t0)
 
     @staticmethod
     def _publish_chunk(entry, loop, st, c: int) -> None:

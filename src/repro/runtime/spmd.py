@@ -84,6 +84,13 @@ from repro.core import ops
 from repro.core.process_group import ProcessGroup
 from repro.core.tensor import Tensor
 from repro.errors import ExecutionError
+from repro.observe.ring import (
+    KIND_KERNEL,
+    KIND_PUBLISH,
+    KIND_REDUCE,
+    KIND_WAIT,
+    TraceRing,
+)
 from repro.runtime.collectives import _reduce_stack
 from repro.runtime.world import SimWorld, slice_of
 
@@ -92,6 +99,7 @@ __all__ = [
     "SpmdError",
     "SpmdPeerAbort",
     "SpmdTimeout",
+    "SpmdWorkerError",
     "launch",
     "CollectivePool",
 ]
@@ -118,6 +126,17 @@ class SpmdTimeout(SpmdError):
 
 class SpmdPeerAbort(SpmdError):
     """Another rank failed; this rank aborted its pending waits."""
+
+
+class SpmdWorkerError(SpmdError):
+    """A run failed; ``context`` carries the failing rank's structured
+    state — ``{"rank", "op", "site", "seq"}`` — captured at the point
+    of failure, so the error is diagnosable from the merged trace
+    without parsing the traceback string."""
+
+    def __init__(self, message: str, context: Optional[dict] = None) -> None:
+        super().__init__(message)
+        self.context = context or {}
 
 
 def _group_key(group: ProcessGroup) -> str:
@@ -240,6 +259,7 @@ class SpmdCommunicator:
         wire_s_per_mb: float = 0.0,
         timeout: float = DEFAULT_TIMEOUT,
         owns_segments: bool = False,
+        trace_path: Optional[str] = None,
     ) -> None:
         self.layout = layout
         self.rank = rank
@@ -258,6 +278,15 @@ class SpmdCommunicator:
         self._tokens: Dict[str, _ChunkToken] = {}
         self._err_off = layout.num_sites * layout.nranks * 2
         self._closed = False
+        # observability: the per-rank trace ring plus the current
+        # operation context (kept even without a ring — it is the
+        # structured context attached to propagated worker errors)
+        self._ring: Optional[TraceRing] = (
+            TraceRing(trace_path) if trace_path else None
+        )
+        self._op = ""
+        self._site = ""
+        self._site_seq = 0
 
     # -- attach (worker side) -------------------------------------------
 
@@ -270,6 +299,7 @@ class SpmdCommunicator:
         flags_name: str,
         wire_s_per_mb: float = 0.0,
         timeout: float = DEFAULT_TIMEOUT,
+        trace_path: Optional[str] = None,
     ) -> "SpmdCommunicator":
         data = SharedMemory(name=data_name)
         flags = SharedMemory(name=flags_name)
@@ -277,7 +307,10 @@ class SpmdCommunicator:
         # supported Pythons (3.9+), and spawned workers share the
         # parent's tracker — the parent's unlink() is the only
         # deregistration, so no double-unlink warnings.
-        return cls(layout, rank, data, flags, wire_s_per_mb, timeout)
+        return cls(
+            layout, rank, data, flags, wire_s_per_mb, timeout,
+            trace_path=trace_path,
+        )
 
     # -- flags ----------------------------------------------------------
 
@@ -314,17 +347,56 @@ class SpmdCommunicator:
                     f"{failed} failed"
                 )
 
-    def _spin(self, cond, what: str) -> None:
+    def _spin(self, cond, what: str, site: str = "") -> None:
+        if cond():
+            return
+        t0 = time.monotonic_ns() if self._ring is not None else 0
         deadline = time.monotonic() + self.timeout
-        while not cond():
-            self._check_peers()
-            if time.monotonic() > deadline:
-                self.signal_error(_ERR_FAILED)
-                raise SpmdTimeout(
-                    f"rank {self.rank}: timed out after {self.timeout:.0f}s "
-                    f"waiting for {what}"
+        try:
+            while not cond():
+                self._check_peers()
+                if time.monotonic() > deadline:
+                    self.signal_error(_ERR_FAILED)
+                    raise SpmdTimeout(
+                        f"rank {self.rank}: timed out after "
+                        f"{self.timeout:.0f}s waiting for {what}"
+                    )
+                time.sleep(_SPIN)
+        finally:
+            # recorded even when the wait dies (timeout / peer abort):
+            # the stall is exactly what the merged trace must show
+            if self._ring is not None:
+                self._ring.append(
+                    KIND_WAIT, t0, time.monotonic_ns() - t0,
+                    seq=self._site_seq, site=site or self._site, name=what,
                 )
-            time.sleep(_SPIN)
+
+    # -- observability ----------------------------------------------------
+
+    def _trace(
+        self, kind: int, t0: int, *, nbytes: int = 0, seq: int = 0,
+        site: str = "", name: str = "",
+    ) -> None:
+        if self._ring is not None:
+            self._ring.append(
+                kind, t0, time.monotonic_ns() - t0,
+                nbytes=nbytes, seq=seq, site=site, name=name,
+            )
+
+    def kernel_span(self, name: str):
+        """Scope one generated-kernel call: maintains the current-op
+        context (attached to worker errors) and, when tracing, records
+        the call as a kernel span."""
+        return _KernelSpan(self, name)
+
+    def error_context(self) -> Dict[str, object]:
+        """The structured where-was-I snapshot for failure reports."""
+        return {
+            "rank": self.rank,
+            "op": self._op,
+            "site": self._site,
+            "seq": self._site_seq,
+        }
 
     # -- slots -----------------------------------------------------------
 
@@ -397,6 +469,8 @@ class SpmdCommunicator:
     def _begin(self, key: str, participants: Sequence[int]) -> int:
         seq = self._seq.get(key, 0) + 1
         self._seq[key] = seq
+        self._site = key
+        self._site_seq = seq
         if seq > 1:
             # slot reuse: everyone must have finished the previous op
             self._spin(
@@ -408,6 +482,7 @@ class SpmdCommunicator:
         return seq
 
     def _publish(self, key: str, seq: int, arr: np.ndarray) -> None:
+        t0 = time.monotonic_ns() if self._ring is not None else 0
         arr = np.asarray(arr)
         if not arr.flags["C_CONTIGUOUS"]:
             # (ascontiguousarray unconditionally would promote 0-d
@@ -419,6 +494,10 @@ class SpmdCommunicator:
         del view
         self._wire_sleep(arr.nbytes)
         self._set_ready(key, self.rank, seq * PROGRESS_BASE + 1)
+        self._trace(
+            KIND_PUBLISH, t0, nbytes=arr.nbytes, seq=seq, site=key,
+            name=self._op or key,
+        )
 
     def _collect(
         self, key: str, seq: int, ranks: Sequence[int]
@@ -429,6 +508,7 @@ class SpmdCommunicator:
             self._spin(
                 lambda r=r: self._ready(key, r) >= want,
                 f"rank {r}'s payload at site {key}",
+                site=key,
             )
             out.append(self._read_payload(key, r))
         return out
@@ -459,7 +539,13 @@ class SpmdCommunicator:
         if token is not None:
             return self._token_reduce(token, op)
         rows = self._exchange_group(group, x)
-        return _reduce_stack(np.stack(rows, axis=0), op)
+        t0 = time.monotonic_ns() if self._ring is not None else 0
+        total = _reduce_stack(np.stack(rows, axis=0), op)
+        self._trace(
+            KIND_REDUCE, t0, seq=self._site_seq, site=_group_key(group),
+            name=self._op or op,
+        )
+        return total
 
     def allreduce(self, x, group: ProcessGroup, op: str, dtype) -> np.ndarray:
         """Every rank receives the reduction of all ranks' values."""
@@ -700,6 +786,7 @@ class SpmdCommunicator:
         )
         try:
             for c in range(len(bounds)):
+                t0 = time.monotonic_ns() if self._ring is not None else 0
                 lo, hi = bounds[c]
                 sl = [slice(None)] * staging.ndim
                 sl[token.chunk_dim] = slice(lo, hi)
@@ -707,10 +794,15 @@ class SpmdCommunicator:
                 view[sl] = staging[sl]
                 if out is not None:
                     out[sl] = staging[sl]
-                self._wire_sleep(staging[sl].nbytes)
+                nbytes = staging[sl].nbytes
+                self._wire_sleep(nbytes)
                 self._set_ready(
                     token.key, self.rank,
                     token.seq * PROGRESS_BASE + c + 1,
+                )
+                self._trace(
+                    KIND_PUBLISH, t0, nbytes=nbytes, seq=c, site=token.key,
+                    name=f"chunk{c}",
                 )
         finally:
             del view
@@ -722,6 +814,7 @@ class SpmdCommunicator:
         self._spin(
             lambda: self._ready(token.key, r) >= want,
             f"chunk {c} from rank {r} at site {token.key}",
+            site=token.key,
         )
 
     def _token_reduce(self, token: _ChunkToken, op: str) -> np.ndarray:
@@ -737,6 +830,7 @@ class SpmdCommunicator:
         n = group.size
         shape, dtype = token.staging.shape, token.staging.dtype
         total = np.empty(shape, dtype=np.float64)
+        t_all = time.monotonic_ns() if self._ring is not None else 0
         views = [
             self._payload_view(token.key, r, shape, dtype)
             for r in group.ranks
@@ -755,6 +849,10 @@ class SpmdCommunicator:
         finally:
             del views
         self._finish(token.key, token.seq)
+        self._trace(
+            KIND_REDUCE, t_all, seq=token.seq, site=token.key,
+            name=self._op or op,
+        )
         return total
 
     def _token_rows(self, token: _ChunkToken) -> List[np.ndarray]:
@@ -798,11 +896,48 @@ class SpmdCommunicator:
             return
         self._closed = True
         self._flags = None
+        if self._ring is not None:
+            self._ring.close()
+            self._ring = None
         for shm in (self._data, self._flags_shm):
             try:
                 shm.close()
             except BufferError:  # pragma: no cover - view still alive
                 pass
+
+
+class _KernelSpan:
+    """Context manager scoping one generated-kernel call.
+
+    Maintains the communicator's current-op name (nested in the
+    overlap case: a producer stream publishes while the consumer kernel
+    runs) and records the call as a kernel span when tracing.
+    """
+
+    def __init__(self, comm: SpmdCommunicator, name: str) -> None:
+        self._comm = comm
+        self._name = name
+        self._prev = ""
+        self._t0 = 0
+
+    def __enter__(self) -> "_KernelSpan":
+        comm = self._comm
+        self._prev = comm._op
+        comm._op = self._name
+        if comm._ring is not None:
+            self._t0 = time.monotonic_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        comm = self._comm
+        comm._trace(
+            KIND_KERNEL, self._t0, seq=comm._site_seq, site=comm._site,
+            name=self._name,
+        )
+        if exc_type is None:
+            comm._op = self._prev
+        # on failure the op name is left in place so error_context()
+        # reports the kernel that raised
 
 
 class _Stream(object):
@@ -846,12 +981,14 @@ def _rank_main(
     inputs: Dict[str, np.ndarray],
     wire_s_per_mb: float,
     timeout: float,
+    trace_path: Optional[str],
     conn,
 ) -> None:
     comm = None
     try:
         comm = SpmdCommunicator.attach(
-            layout, rank, data_name, flags_name, wire_s_per_mb, timeout
+            layout, rank, data_name, flags_name, wire_s_per_mb, timeout,
+            trace_path=trace_path,
         )
         namespace: Dict[str, object] = {}
         exec(compile(source, f"<spmd rank {rank}>", "exec"), namespace)
@@ -868,13 +1005,17 @@ def _rank_main(
     except BaseException as exc:  # noqa: BLE001 - reported to the parent
         if comm is not None:
             comm.signal_error(_ERR_FAILED)
-        conn.send(
-            (
-                "error",
-                f"rank {rank}: {type(exc).__name__}: {exc}",
-                traceback.format_exc(),
+            context = comm.error_context()
+        else:
+            context = {"rank": rank, "op": "", "site": "", "seq": 0}
+        summary = f"rank {rank}: {type(exc).__name__}: {exc}"
+        if context.get("op") or context.get("site"):
+            summary += (
+                f" (op {context.get('op') or '?'!r}, "
+                f"site {context.get('site') or '?'!r}, "
+                f"seq {context.get('seq', 0)})"
             )
-        )
+        conn.send(("error", summary, traceback.format_exc(), context))
     finally:
         if comm is not None:
             comm.close()
@@ -928,6 +1069,8 @@ def launch(
     allow_downcast: Optional[bool] = None,
     wire_s_per_mb: float = 0.0,
     timeout: Optional[float] = None,
+    trace_dir: Optional[str] = None,
+    trace_capacity: int = 32768,
 ):
     """Run a generated SPMD module as one process per rank.
 
@@ -938,6 +1081,14 @@ def launch(
     exception-safe: workers are joined (terminated on timeout) and both
     shared-memory segments are closed and unlinked in a ``finally`` even
     when a rank raises mid-collective.
+
+    ``trace_dir``, when given, receives one pre-created
+    ``rank<N>.ring`` trace file per rank (see
+    :mod:`repro.observe.ring`); every rank records its
+    publish/wait/reduce/kernel spans there. The files are ordinary
+    mapped files owned by the caller — they survive faulty-rank
+    teardown and are *not* removed here, so the caller can merge them
+    whether or not the run succeeded.
     """
     from repro.runtime.executor import ProgramResult
 
@@ -952,6 +1103,15 @@ def launch(
     shards = _place_per_rank(program, inputs, allow_downcast)
     layout = build_layout(program)
 
+    trace_paths: List[Optional[str]] = [None] * world_size
+    if trace_dir is not None:
+        import os
+
+        for r in range(world_size):
+            path = os.path.join(trace_dir, f"rank{r}.ring")
+            TraceRing.create(path, trace_capacity).close()
+            trace_paths[r] = path
+
     uid = uuid.uuid4().hex[:8]
     data_name = f"spmd_{uid}_d"
     flags_name = f"spmd_{uid}_f"
@@ -960,6 +1120,7 @@ def launch(
     conns: List = []
     failure: Optional[str] = None
     detail = ""
+    context: Optional[dict] = None
     results: Dict[int, Tuple[Dict, Dict]] = {}
     try:
         data = SharedMemory(
@@ -979,7 +1140,7 @@ def launch(
                 target=_rank_main,
                 args=(
                     r, source, layout, data_name, flags_name, shards[r],
-                    wire_s_per_mb, timeout, child_conn,
+                    wire_s_per_mb, timeout, trace_paths[r], child_conn,
                 ),
                 daemon=True,
             )
@@ -1007,6 +1168,7 @@ def launch(
                 if failure is None or "aborting, peer" in failure:
                     failure = msg[1]
                     detail = msg[2]
+                    context = msg[3] if len(msg) > 3 else None
             else:  # aborted by a peer's failure
                 if failure is None:
                     failure = msg[1]
@@ -1032,8 +1194,9 @@ def launch(
                     except FileNotFoundError:  # pragma: no cover
                         pass
     if failure is not None:
-        raise ExecutionError(
-            f"SPMD run failed: {failure}" + (f"\n{detail}" if detail else "")
+        raise SpmdWorkerError(
+            f"SPMD run failed: {failure}" + (f"\n{detail}" if detail else ""),
+            context=context,
         )
 
     outputs = {}

@@ -343,6 +343,43 @@ class TestRunLoweredParity:
 
 class TestChunkTrace:
     def test_attention_overlap_executes_chunk_by_chunk(self, rng):
+        from repro.observe import Tracer
+
+        wl = AttentionWorkload.build(4, 8, 16, 4, dtype=FP32)
+        sched = wl.schedule_coconet()
+        inputs = {
+            "w": rng.randn(16, 16), "b": rng.randn(16),
+            "in": rng.randn(4, 8, 16), "r": rng.randn(4, 8, 16),
+        }
+        tracer = Tracer()
+        Executor().run_lowered(
+            sched, inputs, allow_downcast=True, tracer=tracer
+        )
+        (loop,) = sched.lowered().chunk_loops()
+        mm = loop.entries[0].name
+        chunk_spans = tracer.spans(cat="chunk")
+        # the GEMM released each of its chunks individually, in order
+        assert [
+            (e.args["member"], e.args["step"], e.args["chunk"])
+            for e in chunk_spans
+        ] == [(mm, c, c) for c in range(loop.num_chunks)]
+        assert [e.name for e in chunk_spans] == [
+            f"{mm}#c{c}" for c in range(loop.num_chunks)
+        ]
+        # ... all before the fused collective consumed them
+        (whole,) = tracer.spans(cat="whole")
+        assert all(e.end <= whole.ts + 1e-9 for e in chunk_spans)
+        (envelope,) = tracer.spans(cat="chunkloop")
+        assert envelope.name == loop.name
+        assert envelope.args == {
+            "num_chunks": loop.num_chunks, "ring": True
+        }
+
+    def test_legacy_trace_shim_matches_structured_events(self, rng):
+        """The pre-observe tuple protocol (``trace=[]``) still works,
+        alongside and identical in content to the structured events."""
+        from repro.observe import Tracer
+
         wl = AttentionWorkload.build(4, 8, 16, 4, dtype=FP32)
         sched = wl.schedule_coconet()
         inputs = {
@@ -350,26 +387,33 @@ class TestChunkTrace:
             "in": rng.randn(4, 8, 16), "r": rng.randn(4, 8, 16),
         }
         trace = []
+        tracer = Tracer()
         Executor().run_lowered(
-            sched, inputs, allow_downcast=True, trace=trace
+            sched, inputs, allow_downcast=True, trace=trace,
+            tracer=tracer,
         )
         (loop,) = sched.lowered().chunk_loops()
         mm = loop.entries[0].name
         chunk_events = [e for e in trace if e[0] == "chunk"]
-        # the GEMM released each of its chunks individually, in order
         assert [e[1:] for e in chunk_events] == [
             (mm, c, c) for c in range(loop.num_chunks)
         ]
-        # ... all before the fused collective consumed them
         whole_at = trace.index(
             next(e for e in trace if e[0] == "whole")
         )
         assert all(trace.index(e) < whole_at for e in chunk_events)
         assert ("chunkloop", loop.name, loop.num_chunks, True) in trace
+        # same stream of work, one record per structured span
+        assert len(chunk_events) == len(tracer.spans(cat="chunk"))
+        assert [e[1] for e in trace if e[0] == "launch"] == [
+            e.name for e in tracer.spans(cat="launch")
+        ]
 
     def test_moe_pipeline_interleaves_producer_and_consumer_chunks(
         self, rng
     ):
+        from repro.observe import Tracer
+
         wl = MoEWorkload.build(3, 6, 8, world_size=4, dtype=FP32)
         sched = wl.schedule_overlapped()
         inputs = {
@@ -377,16 +421,19 @@ class TestChunkTrace:
             "w1": rng.randn(4, 6, 8),
             "w2": rng.randn(4, 8, 6),
         }
-        trace = []
+        tracer = Tracer()
         Executor().run_lowered(
-            sched, inputs, allow_downcast=True, trace=trace
+            sched, inputs, allow_downcast=True, tracer=tracer
         )
         (loop,) = sched.lowered().chunk_loops()
         compute_entry = next(
             e for e in loop.entries if e.mode == "compute"
         )
         gemm = compute_entry.group_deps[0]
-        events = [(e[1], e[3]) for e in trace if e[0] == "chunk"]
+        events = [
+            (e.args["member"], e.args["chunk"])
+            for e in tracer.spans(cat="chunk")
+        ]
         # chunk c of the ReLU runs after chunk c of its GEMM producer,
         # and before the producer's *next* chunk completes the buffer —
         # the chunk-synchronized pipeline, not whole-kernel execution

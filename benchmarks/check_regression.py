@@ -172,15 +172,31 @@ def gate(
                                   f"(did the benchmark run?)"])
             continue
         if not os.path.exists(baseline_path):
-            results[name] = ([], [f"no committed baseline at "
-                                  f"{baseline_path}"])
+            results[name] = ([], [
+                f"no committed baseline at {baseline_path} — commit one "
+                f"(schema in this file's docstring) to gate this benchmark"
+            ])
             continue
-        with open(fresh_path) as f:
-            report = json.load(f)
-        with open(baseline_path) as f:
-            baseline = json.load(f)
+        try:
+            with open(fresh_path) as f:
+                report = json.load(f)
+        except ValueError as exc:
+            results[name] = ([], [f"fresh report {fresh_path} is not "
+                                  f"valid JSON: {exc}"])
+            continue
+        try:
+            with open(baseline_path) as f:
+                baseline = json.load(f)
+        except ValueError as exc:
+            results[name] = ([], [f"baseline {baseline_path} is not "
+                                  f"valid JSON: {exc}"])
+            continue
         if update:
-            updated = update_baseline(baseline, report)
+            try:
+                updated = update_baseline(baseline, report)
+            except GateError as exc:
+                results[name] = ([], [f"cannot refresh baseline: {exc}"])
+                continue
             with open(baseline_path, "w") as f:
                 json.dump(updated, f, indent=2, sort_keys=True)
                 f.write("\n")

@@ -2,16 +2,52 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 
 @dataclass(frozen=True)
 class Link:
-    """A point-to-point link with bandwidth and per-hop latency."""
+    """A point-to-point link with bandwidth and per-hop latency.
+
+    ``slowdown`` models a degraded or contended link (a straggler NIC,
+    a cable running below spec, fair-shared flows): the nominal
+    ``bandwidth`` stays on the datasheet value while
+    :attr:`effective_bandwidth` divides it by the factor, so cost
+    models can charge degraded wire time without forgetting what the
+    healthy link looks like.
+    """
 
     name: str
-    bandwidth: float  # bytes/second, one direction
+    bandwidth: float  # bytes/second, one direction (nominal)
     latency: float    # seconds per hop (message injection to delivery)
+    slowdown: float = 1.0  # >= 1; see degraded()/contended()
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(
+                f"link slowdown must be >= 1, got {self.slowdown}"
+            )
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Deliverable bandwidth under the current slowdown."""
+        return self.bandwidth / self.slowdown
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Latency plus serialization time at the effective bandwidth."""
+        return self.latency + nbytes / self.effective_bandwidth
+
+    def degraded(self, factor: float) -> "Link":
+        """This link running ``factor`` times slower (factors compose)."""
+        if factor < 1.0:
+            raise ValueError(f"degradation factor must be >= 1, got {factor}")
+        return replace(self, slowdown=self.slowdown * factor)
+
+    def contended(self, flows: int) -> "Link":
+        """This link fair-shared by ``flows`` concurrent flows."""
+        if flows < 1:
+            raise ValueError(f"flow count must be >= 1, got {flows}")
+        return self.degraded(float(flows))
 
 
 #: One V100 NVLink lane: 25 GB/s per direction; each GPU has six, all

@@ -31,7 +31,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
-from repro.observe.events import CounterEvent, SpanEvent
+from repro.observe.events import CounterEvent, InstantEvent, SpanEvent
 from repro.observe.metrics import MetricsRegistry
 
 __all__ = [
@@ -40,6 +40,8 @@ __all__ = [
     "KIND_WAIT",
     "KIND_REDUCE",
     "KIND_KERNEL",
+    "KIND_STALL",
+    "KIND_FAULT",
     "KIND_NAMES",
     "merge_rank_traces",
 ]
@@ -49,13 +51,22 @@ KIND_PUBLISH = 1
 KIND_WAIT = 2
 KIND_REDUCE = 3
 KIND_KERNEL = 4
+#: point markers: a soft-deadline escalation inside a wait, and an
+#: injected/observed fault (stall_publish, drop_chunk, die, stream-leak)
+KIND_STALL = 5
+KIND_FAULT = 6
 
 KIND_NAMES = {
     KIND_PUBLISH: "publish",
     KIND_WAIT: "wait",
     KIND_REDUCE: "reduce",
     KIND_KERNEL: "kernel",
+    KIND_STALL: "stall",
+    KIND_FAULT: "fault",
 }
+
+#: kinds merged as point markers rather than spans
+_INSTANT_KINDS = (KIND_STALL, KIND_FAULT)
 
 _MAGIC = 0x54524143  # "TRAC"
 
@@ -204,10 +215,17 @@ def merge_rank_traces(
     ``metrics`` (when given) receives ``spmd.rank<N>.bytes_published``,
     per-rank event counts, and any dropped-record count.
 
-    Ranks whose ring is missing or unreadable are skipped — a rank that
-    died before its first record must not prevent harvesting the rest.
+    Every rank's ring health is *tagged*, never silently dropped: a
+    rank whose ring file is unreadable gets a ``ring-corrupt`` instant
+    marker (and ``spmd.rank<N>.ring_corrupt`` metric), a wrapped ring
+    that lost its oldest records gets ``ring-truncated``, and a valid
+    ring with zero records gets ``ring-empty`` — so a post-mortem can
+    tell "rank died mid-run" (records up to the fault, or a truncated
+    tail) from "rank never traced" (empty/corrupt from the start) while
+    still harvesting every healthy rank.
     """
     per_rank: Dict[int, np.ndarray] = {}
+    statuses: Dict[int, str] = {}
     dropped_total = 0
     try:
         names = sorted(os.listdir(trace_dir))
@@ -220,10 +238,18 @@ def merge_rank_traces(
         try:
             ring = TraceRing(os.path.join(trace_dir, fn))
         except (OSError, ValueError):
+            per_rank[rank] = np.empty((0,), dtype=RECORD_DTYPE)
+            statuses[rank] = "corrupt"
             continue
         try:
             per_rank[rank] = ring.records()
             dropped_total += ring.dropped
+            if ring.dropped:
+                statuses[rank] = "truncated"
+            elif ring.count == 0:
+                statuses[rank] = "empty"
+            else:
+                statuses[rank] = "ok"
         finally:
             ring.close()
 
@@ -248,6 +274,11 @@ def merge_rank_traces(
             nbytes = int(rec["nbytes"])
             if nbytes:
                 args["bytes"] = nbytes
+            if kind in _INSTANT_KINDS:
+                events.append(
+                    InstantEvent(name, cat, ts, pid, "faults", args)
+                )
+                continue
             tid = "kernels" if kind == KIND_KERNEL else "comm"
             events.append(SpanEvent(name, cat, ts, dur, pid, tid, args))
             if kind == KIND_PUBLISH:
@@ -257,6 +288,16 @@ def merge_rank_traces(
                         "bytes_published", ts + dur, bytes_published, pid
                     )
                 )
+        status = statuses.get(rank, "ok")
+        if status != "ok":
+            events.append(
+                InstantEvent(
+                    f"ring-{status}", "fault", base, pid, "faults",
+                    {"rank": rank, "records": int(len(recs))},
+                )
+            )
+            if metrics is not None:
+                metrics.set(f"spmd.{pid}.ring_{status}", 1)
         if metrics is not None:
             metrics.set(f"spmd.{pid}.bytes_published", bytes_published)
             metrics.set(f"spmd.{pid}.events", int(len(recs)))

@@ -152,10 +152,42 @@ class Engine:
     ``Engine(reference=True)`` routes :meth:`run` through the O(n²)
     ready-scan implementation — the pre-optimization behavior, used by
     the autotuner's baseline mode and the equivalence property tests.
+
+    ``slowdown`` maps resource names to duration multipliers — the
+    straggler/contention model. A key matches a resource exactly, or,
+    when it ends with the ``":"`` separator, a whole family (``"gpu:"``
+    stretches every GPU stream) — the same convention as
+    :meth:`Timeline.utilization`. Matching factors multiply, and both
+    scheduler implementations apply them identically, so the
+    bit-identity property holds under slowdowns too
+    (:meth:`repro.runtime.faults.FaultPlan.resource_slowdowns` produces
+    this mapping from injected straggler events).
     """
 
-    def __init__(self, reference: bool = False) -> None:
+    def __init__(
+        self,
+        reference: bool = False,
+        slowdown: Optional[Dict[str, float]] = None,
+    ) -> None:
         self.reference = reference
+        self.slowdown = dict(slowdown) if slowdown else {}
+        for key, factor in self.slowdown.items():
+            if factor <= 0:
+                raise CoCoNetError(
+                    f"slowdown factor for {key!r} must be > 0, got {factor}"
+                )
+
+    def _duration(self, task: Task) -> float:
+        """The task's duration under the slowdown mapping."""
+        if not self.slowdown:
+            return task.duration
+        d = task.duration
+        for key, factor in self.slowdown.items():
+            if task.resource == key or (
+                key.endswith(":") and task.resource.startswith(key)
+            ):
+                d *= factor
+        return d
 
     @staticmethod
     def _validate(tasks: Sequence[Task]) -> Dict[str, Task]:
@@ -210,7 +242,7 @@ class Engine:
             if start > pushed_start:
                 heapq.heappush(heap, (start, idx, name))
                 continue
-            end = start + t.duration
+            end = start + self._duration(t)
             timeline.spans[name] = (start, end)
             timeline.resources[name] = t.resource
             resource_free[t.resource] = end
@@ -257,7 +289,7 @@ class Engine:
                     f"dependency cycle among tasks: {names[:5]}..."
                 )
             t = pending.pop(best_idx)
-            end = best_start + t.duration
+            end = best_start + self._duration(t)
             timeline.spans[t.name] = (best_start, end)
             timeline.resources[t.name] = t.resource
             resource_free[t.resource] = end

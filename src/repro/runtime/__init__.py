@@ -20,17 +20,31 @@ so scheduled execution itself is numerically verified.
 ``Executor.run_spmd`` leaves the single process altogether: it executes
 the generated SPMD module as one real OS process per rank over the
 shared-memory communicator of :mod:`repro.runtime.spmd`, bit-identical
-to ``run_lowered``.
+to ``run_lowered``. :mod:`repro.runtime.faults` injects deterministic,
+seeded failures (stragglers, stalls, dropped chunks, dead ranks) into
+that backend, and ``Executor.run_spmd(elastic=True)`` recovers from
+dead ranks by re-lowering for the surviving world size.
 """
 
 from repro.runtime.executor import Executor, ProgramResult
-from repro.runtime.spmd import SpmdCommunicator, SpmdError
+from repro.runtime.faults import FaultPlan
+from repro.runtime.spmd import (
+    SpmdCommunicator,
+    SpmdError,
+    SpmdPeerAbort,
+    SpmdTimeout,
+    SpmdWorkerError,
+)
 from repro.runtime.world import SimWorld
 
 __all__ = [
     "Executor",
+    "FaultPlan",
     "ProgramResult",
     "SimWorld",
     "SpmdCommunicator",
     "SpmdError",
+    "SpmdPeerAbort",
+    "SpmdTimeout",
+    "SpmdWorkerError",
 ]

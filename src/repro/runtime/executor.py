@@ -189,7 +189,11 @@ class Executor:
         protocol: str = "Simple",
         wire_s_per_mb: float = 0.0,
         timeout: Optional[float] = None,
+        soft_timeout: Optional[float] = None,
+        fault_plan=None,
         tracer=None,
+        elastic: bool = False,
+        relower=None,
     ) -> ProgramResult:
         """Run a schedule as one real OS process per rank.
 
@@ -205,7 +209,20 @@ class Executor:
         program's placement is baked in at construction). ``wire_s_per_mb``
         charges simulated wire time per published megabyte, letting
         benchmarks measure real overlap; ``timeout`` bounds every
-        rendezvous wait so a failing rank cannot deadlock the run.
+        rendezvous wait so a failing rank cannot deadlock the run, and
+        ``soft_timeout`` sets the escalation (soft-retry) deadline
+        inside each wait. ``fault_plan`` injects a deterministic
+        :class:`~repro.runtime.faults.FaultPlan` into every rank.
+
+        ``elastic=True`` arms recovery from dead ranks: when the run
+        fails because one or more rank *processes* died (an injected
+        ``die``, a kill, an OOM), the program is re-lowered for the
+        surviving world size via ``relower`` and re-executed — see
+        :meth:`_recover_spmd`. ``relower(world_size)`` must return
+        ``(scheduled, inputs)`` (or just ``scheduled`` to reuse
+        ``inputs``) built for that world size; world sizes descend from
+        the survivor count until one both lowers and runs. The returned
+        result carries the recovery record in ``result.elastic``.
 
         ``tracer``, when given (a :class:`repro.observe.Tracer`), makes
         every rank record publish/wait/reduce/kernel spans into a
@@ -213,6 +230,41 @@ class Executor:
         event list after the run — *including* when a rank faults, so
         the timeline of a failed run is still harvested.
         """
+        from repro.runtime.spmd import SpmdWorkerError
+
+        try:
+            return self._run_spmd_once(
+                scheduled, inputs, nranks=nranks,
+                allow_downcast=allow_downcast, protocol=protocol,
+                wire_s_per_mb=wire_s_per_mb, timeout=timeout,
+                soft_timeout=soft_timeout, fault_plan=fault_plan,
+                tracer=tracer,
+            )
+        except SpmdWorkerError as exc:
+            if not elastic or not exc.dead_ranks:
+                raise
+            return self._recover_spmd(
+                exc, scheduled, inputs, relower=relower,
+                allow_downcast=allow_downcast, protocol=protocol,
+                wire_s_per_mb=wire_s_per_mb, timeout=timeout,
+                soft_timeout=soft_timeout, tracer=tracer,
+            )
+
+    def _run_spmd_once(
+        self,
+        scheduled,
+        inputs: Mapping[str, np.ndarray],
+        *,
+        nranks: Optional[int] = None,
+        allow_downcast: Optional[bool] = None,
+        protocol: str = "Simple",
+        wire_s_per_mb: float = 0.0,
+        timeout: Optional[float] = None,
+        soft_timeout: Optional[float] = None,
+        fault_plan=None,
+        tracer=None,
+    ) -> ProgramResult:
+        """One generate-and-launch attempt (no recovery)."""
         from repro.core.codegen import CodeGenerator
 
         generated = CodeGenerator(protocol, target="spmd").generate(scheduled)
@@ -223,6 +275,8 @@ class Executor:
                 allow_downcast=allow_downcast,
                 wire_s_per_mb=wire_s_per_mb,
                 timeout=timeout,
+                soft_timeout=soft_timeout,
+                fault_plan=fault_plan,
             )
 
         import shutil
@@ -239,6 +293,8 @@ class Executor:
                 allow_downcast=allow_downcast,
                 wire_s_per_mb=wire_s_per_mb,
                 timeout=timeout,
+                soft_timeout=soft_timeout,
+                fault_plan=fault_plan,
                 trace_dir=trace_dir,
             )
         finally:
@@ -248,6 +304,90 @@ class Executor:
                 )
             )
             shutil.rmtree(trace_dir, ignore_errors=True)
+
+    def _recover_spmd(
+        self,
+        exc,
+        scheduled,
+        inputs: Mapping[str, np.ndarray],
+        *,
+        relower,
+        allow_downcast: Optional[bool],
+        protocol: str,
+        wire_s_per_mb: float,
+        timeout: Optional[float],
+        soft_timeout: Optional[float],
+        tracer,
+    ) -> ProgramResult:
+        """Reform the group over the survivors and re-execute.
+
+        A simulated process group cannot shrink in place — the layouts
+        of the global tensors (and hence the per-rank shards, slot
+        sizes, even the schedule's chunk bounds) are functions of the
+        world size. So recovery *re-lowers*: world sizes descend from
+        the survivor count, ``relower(ws)`` rebuilds the scheduled
+        program (and inputs) at each size, and the first size that both
+        lowers and runs wins. The re-run injects no faults: the plan
+        described the failed step, and the survivors' re-execution is
+        the recovery being measured. ``result.elastic`` records the
+        failed ranks, attempted sizes and recovery wall-clock; outputs
+        are bit-identical to a direct run at the recovered world size
+        (same relowered program, same deterministic backend).
+        """
+        import time as _time
+
+        from repro.errors import CoCoNetError
+
+        program = scheduled.program if hasattr(scheduled, "program") \
+            else scheduled
+        world_size = program.inputs[0].group.world_size
+        dead = list(exc.dead_ranks)
+        if relower is None:
+            raise type(exc)(
+                f"{exc}\nelastic recovery needs relower=: pass a "
+                f"callable rebuilding the workload for a smaller world "
+                f"size (rank(s) {dead} died)",
+                context=exc.context,
+                dead_ranks=dead,
+            ) from exc
+        t0 = _time.perf_counter()
+        attempted = []
+        last_error: Exception = exc
+        for ws in range(world_size - len(dead), 0, -1):
+            attempted.append(ws)
+            try:
+                relowered = relower(ws)
+            except CoCoNetError:
+                continue  # the workload cannot be built at this size
+            if isinstance(relowered, tuple):
+                scheduled2, inputs2 = relowered
+            else:
+                scheduled2, inputs2 = relowered, inputs
+            if tracer is not None:
+                tracer.instant(
+                    "elastic-relower", cat="fault",
+                    args={"world_size": ws, "dead_ranks": dead},
+                )
+            try:
+                result = self._run_spmd_once(
+                    scheduled2, inputs2,
+                    allow_downcast=allow_downcast, protocol=protocol,
+                    wire_s_per_mb=wire_s_per_mb, timeout=timeout,
+                    soft_timeout=soft_timeout, tracer=tracer,
+                )
+            except CoCoNetError as err:
+                last_error = err
+                continue
+            result.elastic = {
+                "failed_ranks": dead,
+                "original_world": world_size,
+                "world_size": ws,
+                "attempted": attempted,
+                "recovery_seconds": _time.perf_counter() - t0,
+                "cause": str(exc).splitlines()[0],
+            }
+            return result
+        raise last_error
 
     # -- lowered (plan-aware) execution ----------------------------------
 

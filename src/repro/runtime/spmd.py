@@ -71,9 +71,11 @@ unlinks both shared-memory segments, so a failing kernel can never leak
 
 from __future__ import annotations
 
+import os
 import time
 import traceback
 import uuid
+from multiprocessing import connection as _mp_connection
 from multiprocessing import get_context
 from multiprocessing.shared_memory import SharedMemory
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
@@ -85,13 +87,16 @@ from repro.core.process_group import ProcessGroup
 from repro.core.tensor import Tensor
 from repro.errors import ExecutionError
 from repro.observe.ring import (
+    KIND_FAULT,
     KIND_KERNEL,
     KIND_PUBLISH,
     KIND_REDUCE,
+    KIND_STALL,
     KIND_WAIT,
     TraceRing,
 )
 from repro.runtime.collectives import _reduce_stack
+from repro.runtime.faults import FaultPlan
 from repro.runtime.world import SimWorld, slice_of
 
 __all__ = [
@@ -101,6 +106,7 @@ __all__ = [
     "SpmdTimeout",
     "SpmdWorkerError",
     "launch",
+    "scaled_default_timeout",
     "CollectivePool",
 ]
 
@@ -110,10 +116,21 @@ HEADER_BYTES = 192
 PROGRESS_BASE = 1 << 20
 #: error-flag value stored by a failing rank
 _ERR_FAILED = 1
-#: spin-wait granularity (seconds)
+#: error-flag value the *parent* stores for a rank whose process died
+#: without reporting — peers abort exactly like on a failure, but the
+#: message distinguishes "died" from "raised"
+_ERR_DEAD = 2
+#: spin-wait granularity (seconds) and its escalation ceiling
 _SPIN = 5e-5
+_SPIN_MAX = 5e-3
 #: default per-wait timeout (seconds)
 DEFAULT_TIMEOUT = 120.0
+#: default soft (escalation) deadline inside a wait: after this many
+#: seconds without progress the spin backs off and a stall marker is
+#: recorded; the hard ``timeout`` still bounds the wait
+DEFAULT_SOFT_TIMEOUT = 2.0
+#: exit code of a rank killed by an injected ``die`` fault
+_DIE_EXIT_CODE = 86
 
 
 class SpmdError(ExecutionError):
@@ -132,11 +149,19 @@ class SpmdWorkerError(SpmdError):
     """A run failed; ``context`` carries the failing rank's structured
     state — ``{"rank", "op", "site", "seq"}`` — captured at the point
     of failure, so the error is diagnosable from the merged trace
-    without parsing the traceback string."""
+    without parsing the traceback string. ``dead_ranks`` lists ranks
+    whose *process* vanished without reporting (killed, ``os._exit``,
+    OOM) — the elastic-recovery trigger."""
 
-    def __init__(self, message: str, context: Optional[dict] = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        context: Optional[dict] = None,
+        dead_ranks: Optional[Sequence[int]] = None,
+    ) -> None:
         super().__init__(message)
         self.context = context or {}
+        self.dead_ranks = sorted(dead_ranks or [])
 
 
 def _group_key(group: ProcessGroup) -> str:
@@ -235,6 +260,25 @@ def build_layout(program) -> SpmdLayout:
     return layout
 
 
+def scaled_default_timeout(
+    layout: SpmdLayout, wire_s_per_mb: float
+) -> float:
+    """The default per-wait deadline, scaled to the simulated wire.
+
+    Publishing a slot of S MiB costs ``wire_s_per_mb * S`` seconds of
+    simulated wire sleep; chunked sites republish the payload per chunk
+    and a straggler can serialize every rank's wire time behind it, so
+    the flat :data:`DEFAULT_TIMEOUT` gains ``4 x wire x largest-site x
+    nranks`` of headroom — slow simulated wires must stretch waits, not
+    fail them.
+    """
+    if wire_s_per_mb <= 0.0 or not layout.sites:
+        return DEFAULT_TIMEOUT
+    largest = max(slot for (_, slot, _) in layout.sites.values())
+    scale = 4.0 * wire_s_per_mb * (largest / (1 << 20)) * layout.nranks
+    return DEFAULT_TIMEOUT + scale
+
+
 class _ChunkToken:
     """A chunked publication in flight on a group site."""
 
@@ -260,12 +304,19 @@ class SpmdCommunicator:
         timeout: float = DEFAULT_TIMEOUT,
         owns_segments: bool = False,
         trace_path: Optional[str] = None,
+        soft_timeout: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.layout = layout
         self.rank = rank
         self.nranks = layout.nranks
         self.wire_s_per_mb = float(wire_s_per_mb)
         self.timeout = float(timeout)
+        self.soft_timeout = min(
+            self.timeout,
+            DEFAULT_SOFT_TIMEOUT if soft_timeout is None
+            else float(soft_timeout),
+        )
         self._data = data
         self._flags_shm = flags
         self._owns = owns_segments
@@ -287,6 +338,15 @@ class SpmdCommunicator:
         self._op = ""
         self._site = ""
         self._site_seq = 0
+        self._streams: List["_Stream"] = []
+        # fault injection: the plan's per-rank view (None when inert);
+        # armed events are recorded up front so a post-mortem trace
+        # shows what was injected even if the rank never reaches it
+        self._faults = faults.for_rank(rank) if faults is not None else None
+        if self._faults is not None and self._ring is not None:
+            now = time.monotonic_ns()
+            for desc in self._faults.armed():
+                self._ring.append(KIND_FAULT, now, 0, name=f"armed:{desc}")
 
     # -- attach (worker side) -------------------------------------------
 
@@ -300,6 +360,8 @@ class SpmdCommunicator:
         wire_s_per_mb: float = 0.0,
         timeout: float = DEFAULT_TIMEOUT,
         trace_path: Optional[str] = None,
+        soft_timeout: Optional[float] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> "SpmdCommunicator":
         data = SharedMemory(name=data_name)
         flags = SharedMemory(name=flags_name)
@@ -309,7 +371,8 @@ class SpmdCommunicator:
         # deregistration, so no double-unlink warnings.
         return cls(
             layout, rank, data, flags, wire_s_per_mb, timeout,
-            trace_path=trace_path,
+            trace_path=trace_path, soft_timeout=soft_timeout,
+            faults=faults,
         )
 
     # -- flags ----------------------------------------------------------
@@ -342,26 +405,56 @@ class SpmdCommunicator:
                 if errs[r] and r != self.rank
             ]
             if failed:
+                dead = [r for r in failed if int(errs[r]) == _ERR_DEAD]
+                extra = f" (rank(s) {dead} died)" if dead else ""
                 raise SpmdPeerAbort(
                     f"rank {self.rank}: aborting, peer rank(s) "
-                    f"{failed} failed"
+                    f"{failed} failed{extra}"
                 )
 
     def _spin(self, cond, what: str, site: str = "") -> None:
+        """Wait for ``cond`` with escalation instead of one flat wall.
+
+        Under :attr:`soft_timeout` the loop spins at fine granularity;
+        each soft deadline that passes without progress is a *soft
+        retry* — the spin interval backs off (doubling up to
+        ``_SPIN_MAX``) and a stall marker is recorded, so transient
+        hiccups (an injected ``stall_publish``, a delayed chunk
+        redelivery, a straggler) are ridden out visibly. Only the hard
+        :attr:`timeout` raises :class:`SpmdTimeout`, after signalling
+        the error flag so every peer aborts its own waits (the
+        peer-abort broadcast).
+        """
         if cond():
             return
         t0 = time.monotonic_ns() if self._ring is not None else 0
-        deadline = time.monotonic() + self.timeout
+        start = time.monotonic()
+        deadline = start + self.timeout
+        next_soft = start + self.soft_timeout
+        interval = _SPIN
+        retries = 0
         try:
             while not cond():
                 self._check_peers()
-                if time.monotonic() > deadline:
+                now = time.monotonic()
+                if now > deadline:
                     self.signal_error(_ERR_FAILED)
                     raise SpmdTimeout(
                         f"rank {self.rank}: timed out after "
-                        f"{self.timeout:.0f}s waiting for {what}"
+                        f"{self.timeout:.0f}s ({retries} soft retries of "
+                        f"{self.soft_timeout:.2g}s) waiting for {what}"
                     )
-                time.sleep(_SPIN)
+                if now >= next_soft:
+                    retries += 1
+                    interval = min(interval * 2.0, _SPIN_MAX)
+                    next_soft = now + self.soft_timeout
+                    if self._ring is not None:
+                        self._ring.append(
+                            KIND_STALL, time.monotonic_ns(), 0,
+                            seq=retries, site=site or self._site,
+                            name=what,
+                        )
+                time.sleep(interval)
         finally:
             # recorded even when the wait dies (timeout / peer abort):
             # the stall is exactly what the merged trace must show
@@ -462,7 +555,49 @@ class SpmdCommunicator:
 
     def _wire_sleep(self, nbytes: int) -> None:
         if self.wire_s_per_mb > 0.0 and nbytes > 0:
-            time.sleep(self.wire_s_per_mb * nbytes / (1 << 20))
+            factor = (
+                self._faults.wire_factor if self._faults is not None else 1.0
+            )
+            time.sleep(self.wire_s_per_mb * factor * nbytes / (1 << 20))
+
+    # -- fault injection --------------------------------------------------
+
+    def _fault_publish(self, site: str, seq: int) -> None:
+        """One publish-side injection point: stall, then possibly die.
+
+        Called after the payload is written but before the ready flag —
+        a stall delays visibility (peers soft-retry through it), and a
+        kill leaves a written-but-unannounced payload behind, exactly
+        like a process dying mid-transfer.
+        """
+        f = self._faults
+        if f is None:
+            return
+        delay = f.publish_delay(site, seq)
+        if delay > 0.0:
+            self._trace(
+                KIND_FAULT, time.monotonic_ns(), seq=seq, site=site,
+                name=f"stall_publish {delay:g}s",
+            )
+            time.sleep(delay)
+        if f.should_die(site):
+            self._die(site, seq)
+
+    def _die(self, site: str, seq: int) -> None:
+        """Injected hard death: no error flag, no parent message.
+
+        The fault marker is flushed to the ring first (the page cache
+        keeps it through process exit), then the process vanishes —
+        detection is entirely the parent's and the peers' problem,
+        which is the point.
+        """
+        if self._ring is not None:
+            self._ring.append(
+                KIND_FAULT, time.monotonic_ns(), 0, seq=seq, site=site,
+                name="die",
+            )
+            self._ring.close()
+        os._exit(_DIE_EXIT_CODE)
 
     # -- rendezvous core --------------------------------------------------
 
@@ -493,6 +628,7 @@ class SpmdCommunicator:
         view[...] = arr
         del view
         self._wire_sleep(arr.nbytes)
+        self._fault_publish(key, seq)
         self._set_ready(key, self.rank, seq * PROGRESS_BASE + 1)
         self._trace(
             KIND_PUBLISH, t0, nbytes=arr.nbytes, seq=seq, site=key,
@@ -784,6 +920,11 @@ class SpmdCommunicator:
         view = self._payload_view(
             token.key, self.rank, staging.shape, staging.dtype
         )
+        # an injected drop_chunk withholds the ready bump: the payload
+        # is written, but visibility is redelivered later (with the next
+        # chunk's bump, or after the drop's redeliver delay for the last
+        # chunk) — consumers soft-retry through the gap
+        redeliver: Optional[float] = None
         try:
             for c in range(len(bounds)):
                 t0 = time.monotonic_ns() if self._ring is not None else 0
@@ -796,6 +937,23 @@ class SpmdCommunicator:
                     out[sl] = staging[sl]
                 nbytes = staging[sl].nbytes
                 self._wire_sleep(nbytes)
+                self._fault_publish(token.key, c)
+                if self._faults is not None:
+                    drop = self._faults.drop(token.key, c)
+                    if drop is not None:
+                        self._trace(
+                            KIND_FAULT, time.monotonic_ns(), seq=c,
+                            site=token.key, name=f"drop_chunk {c}",
+                        )
+                        redeliver = drop.redeliver
+                        continue
+                if redeliver is not None:
+                    time.sleep(redeliver)
+                    self._trace(
+                        KIND_FAULT, time.monotonic_ns(), seq=c,
+                        site=token.key, name="redeliver",
+                    )
+                    redeliver = None
                 self._set_ready(
                     token.key, self.rank,
                     token.seq * PROGRESS_BASE + c + 1,
@@ -803,6 +961,17 @@ class SpmdCommunicator:
                 self._trace(
                     KIND_PUBLISH, t0, nbytes=nbytes, seq=c, site=token.key,
                     name=f"chunk{c}",
+                )
+            if redeliver is not None:
+                # the dropped chunk was the last one: redeliver it
+                time.sleep(redeliver)
+                self._trace(
+                    KIND_FAULT, time.monotonic_ns(),
+                    seq=len(bounds) - 1, site=token.key, name="redeliver",
+                )
+                self._set_ready(
+                    token.key, self.rank,
+                    token.seq * PROGRESS_BASE + len(bounds),
                 )
         finally:
             del view
@@ -883,7 +1052,9 @@ class SpmdCommunicator:
     def start_stream(self, fn) -> "_Stream":
         """Run ``fn`` on a worker thread — one per GPU stream, giving
         overlap groups actual intra-rank concurrency."""
-        return _Stream(fn, self)
+        s = _Stream(fn, self)
+        self._streams.append(s)
+        return s
 
     def join_streams(self, *streams: "_Stream") -> None:
         for s in streams:
@@ -895,6 +1066,19 @@ class SpmdCommunicator:
         if self._closed:
             return
         self._closed = True
+        # every started stream must be joined by now (the generated
+        # orchestrators join in a finally); any thread still alive gets
+        # a short grace join and is tagged in the trace — a leaked
+        # producer is a teardown bug the post-mortem must show
+        for s in self._streams:
+            if s.alive():
+                s.wait(1.0)
+                if s.alive() and self._ring is not None:
+                    self._ring.append(
+                        KIND_FAULT, time.monotonic_ns(), 0,
+                        name="stream-leak",
+                    )
+        self._streams = []
         self._flags = None
         if self._ring is not None:
             self._ring.close()
@@ -924,12 +1108,25 @@ class _KernelSpan:
         comm = self._comm
         self._prev = comm._op
         comm._op = self._name
-        if comm._ring is not None:
+        faults = comm._faults
+        if comm._ring is not None or (
+            faults is not None and faults.kernel_factor > 1.0
+        ):
             self._t0 = time.monotonic_ns()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> None:
         comm = self._comm
+        faults = comm._faults
+        if (
+            faults is not None
+            and faults.kernel_factor > 1.0
+            and self._t0
+            and exc_type is None
+        ):
+            # straggler: stretch the kernel's elapsed time by the factor
+            elapsed = (time.monotonic_ns() - self._t0) / 1e9
+            time.sleep(elapsed * (faults.kernel_factor - 1.0))
         comm._trace(
             KIND_KERNEL, self._t0, seq=comm._site_seq, site=comm._site,
             name=self._name,
@@ -959,6 +1156,13 @@ class _Stream(object):
         self._thread = threading.Thread(target=run, daemon=True)
         self._thread.start()
 
+    def alive(self) -> bool:
+        return self._thread.is_alive()
+
+    def wait(self, timeout: float) -> None:
+        """Join without re-raising (teardown-side best effort)."""
+        self._thread.join(timeout)
+
     def join(self) -> None:
         self._thread.join(self._comm.timeout)
         if self._thread.is_alive():  # pragma: no cover - defensive
@@ -981,6 +1185,8 @@ def _rank_main(
     inputs: Dict[str, np.ndarray],
     wire_s_per_mb: float,
     timeout: float,
+    soft_timeout: Optional[float],
+    fault_plan: Optional[FaultPlan],
     trace_path: Optional[str],
     conn,
 ) -> None:
@@ -988,7 +1194,8 @@ def _rank_main(
     try:
         comm = SpmdCommunicator.attach(
             layout, rank, data_name, flags_name, wire_s_per_mb, timeout,
-            trace_path=trace_path,
+            trace_path=trace_path, soft_timeout=soft_timeout,
+            faults=fault_plan,
         )
         namespace: Dict[str, object] = {}
         exec(compile(source, f"<spmd rank {rank}>", "exec"), namespace)
@@ -1069,6 +1276,8 @@ def launch(
     allow_downcast: Optional[bool] = None,
     wire_s_per_mb: float = 0.0,
     timeout: Optional[float] = None,
+    soft_timeout: Optional[float] = None,
+    fault_plan: Optional[FaultPlan] = None,
     trace_dir: Optional[str] = None,
     trace_capacity: int = 32768,
 ):
@@ -1081,6 +1290,20 @@ def launch(
     exception-safe: workers are joined (terminated on timeout) and both
     shared-memory segments are closed and unlinked in a ``finally`` even
     when a rank raises mid-collective.
+
+    ``timeout`` bounds every rendezvous wait (default:
+    :func:`scaled_default_timeout`, so slow simulated wires stretch the
+    deadline instead of false-timing-out); ``soft_timeout`` is the
+    escalation (soft-retry) deadline inside each wait. ``fault_plan``
+    injects the given :class:`~repro.runtime.faults.FaultPlan` into
+    every rank. The parent watches worker *process sentinels* alongside
+    their result pipes: a rank that dies without reporting (killed, an
+    injected ``die``, OOM) is detected promptly, its error flag is
+    broadcast on its behalf so surviving ranks abort their in-flight
+    collectives with :class:`SpmdPeerAbort` rather than spinning to
+    their own timeouts, and the failure is raised as a
+    :class:`SpmdWorkerError` with ``dead_ranks`` populated — the
+    elastic-recovery trigger.
 
     ``trace_dir``, when given, receives one pre-created
     ``rank<N>.ring`` trace file per rank (see
@@ -1099,9 +1322,12 @@ def launch(
             f"{nranks} SPMD processes — rebuild the workload with "
             f"world_size={nranks}"
         )
-    timeout = DEFAULT_TIMEOUT if timeout is None else float(timeout)
     shards = _place_per_rank(program, inputs, allow_downcast)
     layout = build_layout(program)
+    timeout = (
+        scaled_default_timeout(layout, wire_s_per_mb)
+        if timeout is None else float(timeout)
+    )
 
     trace_paths: List[Optional[str]] = [None] * world_size
     if trace_dir is not None:
@@ -1116,12 +1342,23 @@ def launch(
     data_name = f"spmd_{uid}_d"
     flags_name = f"spmd_{uid}_f"
     data = flags = None
+    flags_arr: Optional[np.ndarray] = None
     procs: List = []
     conns: List = []
-    failure: Optional[str] = None
-    detail = ""
-    context: Optional[dict] = None
+    dead_ranks: List[int] = []
+    # root-cause classification: a dead process (4) outranks a raised
+    # error (3) outranks a silent timeout (2) outranks a peer abort (1)
+    # — survivors' aborts are symptoms, never the reported cause
+    fail = {"sev": 0, "msg": None, "detail": "", "context": None}
+
+    def _record_failure(
+        sev: int, msg: str, det: str = "", ctx: Optional[dict] = None
+    ) -> None:
+        if sev > fail["sev"]:
+            fail.update(sev=sev, msg=msg, detail=det, context=ctx)
+
     results: Dict[int, Tuple[Dict, Dict]] = {}
+    err_off = layout.num_sites * world_size * 2
     try:
         data = SharedMemory(
             create=True, size=layout.data_size, name=data_name
@@ -1129,18 +1366,33 @@ def launch(
         flags = SharedMemory(
             create=True, size=layout.flags_length() * 8, name=flags_name
         )
-        np.ndarray(
+        flags_arr = np.ndarray(
             (layout.flags_length(),), dtype=np.int64, buffer=flags.buf
-        ).fill(0)
+        )
+        flags_arr.fill(0)
 
-        ctx = get_context("spawn")
+        def _mark_dead(r: int) -> None:
+            dead_ranks.append(r)
+            code = procs[r].exitcode
+            _record_failure(
+                4,
+                f"rank {r} died without reporting (exit code {code})",
+                ctx={"rank": r, "op": "", "site": "", "seq": 0,
+                     "dead": True},
+            )
+            # broadcast on the corpse's behalf: peers blocked on its
+            # payloads abort promptly instead of spinning to timeout
+            flags_arr[err_off + r] = _ERR_DEAD
+
+        ctx_mp = get_context("spawn")
         for r in range(world_size):
-            parent_conn, child_conn = ctx.Pipe()
-            p = ctx.Process(
+            parent_conn, child_conn = ctx_mp.Pipe()
+            p = ctx_mp.Process(
                 target=_rank_main,
                 args=(
                     r, source, layout, data_name, flags_name, shards[r],
-                    wire_s_per_mb, timeout, trace_paths[r], child_conn,
+                    wire_s_per_mb, timeout, soft_timeout, fault_plan,
+                    trace_paths[r], child_conn,
                 ),
                 daemon=True,
             )
@@ -1150,29 +1402,44 @@ def launch(
             conns.append(parent_conn)
 
         deadline = time.monotonic() + timeout + 60.0
-        for r, conn in enumerate(conns):
-            remaining = max(0.1, deadline - time.monotonic())
-            if not conn.poll(remaining):
-                failure = failure or (
-                    f"rank {r} did not report within {timeout:.0f}s"
-                )
-                continue
-            try:
-                msg = conn.recv()
-            except EOFError:
-                failure = failure or f"rank {r} died without reporting"
-                continue
-            if msg[0] == "ok":
-                results[r] = (msg[1], msg[2], msg[3])
-            elif msg[0] == "error":
-                if failure is None or "aborting, peer" in failure:
-                    failure = msg[1]
-                    detail = msg[2]
-                    context = msg[3] if len(msg) > 3 else None
-            else:  # aborted by a peer's failure
-                if failure is None:
-                    failure = msg[1]
+        pending: Dict[int, object] = dict(enumerate(conns))
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0.0:
+                for r in sorted(pending):
+                    _record_failure(
+                        2, f"rank {r} did not report within {timeout:.0f}s"
+                    )
+                break
+            # wait on result pipes AND process sentinels: a report
+            # wakes us, and so does a silent death
+            waitables = list(pending.values()) + [
+                procs[r].sentinel for r in pending
+            ]
+            _mp_connection.wait(waitables, timeout=min(remaining, 1.0))
+            for r in sorted(pending):
+                conn = pending[r]
+                if conn.poll(0):
+                    del pending[r]
+                    try:
+                        msg = conn.recv()
+                    except (EOFError, OSError):
+                        _mark_dead(r)
+                        continue
+                    if msg[0] == "ok":
+                        results[r] = (msg[1], msg[2], msg[3])
+                    elif msg[0] == "error":
+                        _record_failure(
+                            3, msg[1], msg[2],
+                            msg[3] if len(msg) > 3 else None,
+                        )
+                    else:  # aborted by a peer's failure
+                        _record_failure(1, msg[1])
+                elif not procs[r].is_alive():
+                    del pending[r]
+                    _mark_dead(r)
     finally:
+        flags_arr = None  # drop the view before closing the segment
         for p in procs:
             p.join(timeout=5.0)
         for p in procs:
@@ -1193,10 +1460,13 @@ def launch(
                         shm.unlink()
                     except FileNotFoundError:  # pragma: no cover
                         pass
-    if failure is not None:
+    if fail["msg"] is not None:
+        detail = fail["detail"]
         raise SpmdWorkerError(
-            f"SPMD run failed: {failure}" + (f"\n{detail}" if detail else ""),
-            context=context,
+            f"SPMD run failed: {fail['msg']}"
+            + (f"\n{detail}" if detail else ""),
+            context=fail["context"],
+            dead_ranks=dead_ranks,
         )
 
     outputs = {}

@@ -122,6 +122,48 @@ class TestGate:
         assert run_main(fresh, baselines, "--tolerance", "0.5") == 0
 
 
+class TestMalformedInputs:
+    """Broken JSON and unrefreshable baselines fail with a message,
+    not a traceback."""
+
+    def test_malformed_fresh_report(self, env, capsys):
+        baselines, fresh = env
+        with open(str(fresh), "w") as f:
+            f.write("{not json")
+        assert run_main(fresh, baselines) == 1
+        assert "not valid JSON" in capsys.readouterr().out
+
+    def test_malformed_baseline(self, env, capsys):
+        baselines, fresh = env
+        write(str(fresh), {"equal_outputs": True})
+        with open(str(baselines / "BENCH_x.json"), "w") as f:
+            f.write("]")
+        assert run_main(fresh, baselines) == 1
+        assert "not valid JSON" in capsys.readouterr().out
+
+    def test_missing_baseline_explains_how_to_create_one(
+        self, env, tmp_path, capsys
+    ):
+        baselines, _ = env
+        fresh = write(
+            str(tmp_path / "BENCH_new.json"), {"equal_outputs": True}
+        )
+        assert cr.main([fresh, "--baselines", str(baselines)]) == 1
+        out = capsys.readouterr().out
+        assert "no committed baseline" in out
+        assert "commit one" in out
+
+    def test_update_with_unresolvable_path_fails_cleanly(
+        self, env, capsys
+    ):
+        baselines, fresh = env
+        # the fresh report lacks acceptance.speedup, so refreshing the
+        # floor from it must fail as a gate message, not a GateError
+        write(str(fresh), {"equal_outputs": True, "overhead": 1.0})
+        assert run_main(fresh, baselines, "--update-baselines") == 1
+        assert "cannot refresh baseline" in capsys.readouterr().out
+
+
 class TestRatioChecks:
     def test_ratio_floor(self, tmp_path):
         baselines = tmp_path / "baselines"
@@ -170,6 +212,7 @@ class TestCommittedBaselines:
         assert {
             "BENCH_runtime.json", "BENCH_lowering.json",
             "BENCH_tuner.json", "BENCH_moe.json", "BENCH_spmd.json",
+            "BENCH_faults.json",
         } <= set(names)
         for name in names:
             with open(os.path.join(cr.BASELINE_DIR, name)) as f:

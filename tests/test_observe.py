@@ -275,7 +275,7 @@ class TestTraceRing:
         with pytest.raises(ValueError, match="not a trace ring"):
             TraceRing(str(path))
 
-    def test_merge_skips_unreadable_rings_and_rebases(self, tmp_path):
+    def test_merge_tags_unreadable_rings_and_rebases(self, tmp_path):
         ring = TraceRing.create(str(tmp_path / "rank0.ring"), capacity=8)
         ring.append(KIND_PUBLISH, ts=5_000_000_000, dur=1_000_000,
                     nbytes=32, seq=0, site="g0x4", name="avg")
@@ -293,7 +293,13 @@ class TestTraceRing:
         counters = [e for e in events if isinstance(e, CounterEvent)]
         assert counters and counters[0].name == "bytes_published"
         assert metrics.get("spmd.rank0.bytes_published") == 32
-        assert "spmd.rank1.bytes_published" not in metrics
+        # the unreadable ring is tagged, not silently skipped
+        instants = [e for e in events if isinstance(e, InstantEvent)]
+        assert any(
+            e.name == "ring-corrupt" and e.pid == "rank1" for e in instants
+        )
+        assert metrics.get("spmd.rank1.ring_corrupt") == 1
+        assert metrics.get("spmd.rank1.bytes_published") == 0
 
 
 def _shm_spmd_segments():

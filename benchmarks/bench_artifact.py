@@ -1,0 +1,225 @@
+"""Portable artifacts: serialize/load latency, sizes, and fidelity.
+
+The artifact layer (:mod:`repro.core.artifact`) promises that a saved
+``*.repro.json`` is a complete, portable unit of work. This benchmark
+prices that promise and guards it in CI:
+
+* **serialize / load latency** — ``dumps`` and ``loads`` (including
+  reconstruction of the live :class:`LoweredProgram`) per workload;
+* **artifact size** — bytes of the compact document, gated by a *hard*
+  ``max_bytes`` cap (sizes are deterministic; any growth is a format
+  change, not noise);
+* **fidelity** — the loaded artifact must execute bit-identically to
+  the live schedule on the lowered interpreter, and the committed
+  golden files under ``tests/golden/`` must load and keep their
+  recorded hashes.
+
+Emits ``BENCH_artifact.json`` at the repo root::
+
+    PYTHONPATH=src:. python benchmarks/bench_artifact.py           # full
+    PYTHONPATH=src:. python benchmarks/bench_artifact.py --smoke   # CI
+
+``--regen-goldens`` rewrites the golden files from the pinned recipes
+below (run it in a *fresh* interpreter — generated value names carry a
+process-global counter, so the recorded content hashes are reproducible
+only from the same build sequence); commit the results together with
+the updated hashes in ``tests/test_artifact.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import sys
+import time
+from typing import Dict
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _common import save_report, table  # noqa: E402
+
+from repro.core import artifact  # noqa: E402
+from repro.runtime import Executor  # noqa: E402
+from repro.workloads.adam import AdamWorkload  # noqa: E402
+from repro.workloads.attention import AttentionWorkload  # noqa: E402
+from repro.workloads.moe import MoEWorkload  # noqa: E402
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(_ROOT, "BENCH_artifact.json")
+GOLDEN_DIR = os.path.join(_ROOT, "tests", "golden")
+
+
+def golden_recipes():
+    """The exact build sequences behind ``tests/golden/*.repro.json``."""
+    adam = AdamWorkload.build(64, 4).schedules()["fuse(RS-Adam-AG)"]
+    moe = MoEWorkload.build(3, 6, 8, world_size=4).schedules()["overlapped"]
+    return {
+        "adam_fused.repro.json": adam,
+        "moe_overlapped.repro.json": moe,
+    }
+
+
+def bench_configs(rng: np.random.RandomState):
+    """(schedule, inputs) per benchmarked workload."""
+    adam = AdamWorkload.build(64, 4).schedule_fused()
+    adam_inputs = dict(
+        g=rng.randn(4, 64) * 0.1,
+        p=rng.randn(64),
+        m=rng.randn(64) * 0.01,
+        v=np.abs(rng.randn(64)) * 0.01,
+        lr=0.01,
+        t=3.0,
+    )
+    moe = MoEWorkload.build(3, 6, 8, world_size=4).schedule_overlapped()
+    moe_inputs = {
+        "x": rng.randn(4, 4, 3, 6),
+        "w1": rng.randn(4, 6, 8),
+        "w2": rng.randn(4, 8, 6),
+    }
+    attn = AttentionWorkload.build(4, 8, 16, 4, dropout_seed=6)
+    attn = attn.schedule_coconet()
+    attn_inputs = {
+        "w": rng.randn(16, 16),
+        "b": rng.randn(16),
+        "in": rng.randn(4, 8, 16),
+        "r": rng.randn(4, 8, 16),
+    }
+    return {
+        "adam_fused": (adam, adam_inputs),
+        "moe_overlapped": (moe, moe_inputs),
+        "attention_coconet": (attn, attn_inputs),
+    }
+
+
+def run_config(name: str, sched, inputs, repeats: int) -> Dict:
+    text = artifact.dumps(sched)
+    dump_times, load_times = [], []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        artifact.dumps(sched)
+        dump_times.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        artifact.loads(text).lowered()  # parse + full reconstruction
+        load_times.append(time.perf_counter() - t0)
+
+    art = artifact.loads(text)
+    ex = Executor()
+    live = ex.run_lowered(sched, inputs, allow_downcast=True)
+    again = ex.run_lowered(art, inputs, allow_downcast=True)
+    program = art.program
+    equal = all(
+        np.array_equal(again.output(o.name), live.output(o.name))
+        for o in program.outputs
+    )
+    return {
+        "bytes": len(text.encode("utf-8")),
+        "dumps_ms": statistics.median(dump_times) * 1e3,
+        "loads_ms": statistics.median(load_times) * 1e3,
+        "equal_outputs": equal,
+        "content_hash": art.content_hash,
+        "structural_hash": art.structural_hash,
+    }
+
+
+def check_goldens() -> Dict:
+    """Every committed golden loads and carries a verified hash."""
+    out: Dict = {}
+    ok = True
+    for fname in sorted(os.listdir(GOLDEN_DIR)):
+        if not fname.endswith(".repro.json"):
+            continue
+        path = os.path.join(GOLDEN_DIR, fname)
+        try:
+            art = artifact.load(path)  # verifies the content hash
+            # the reconstruction must re-serialize losslessly
+            loaded = artifact.to_payload(art.lowered()) == art.payload
+            out[fname] = {
+                "loaded": bool(loaded),
+                "schema_version": art.schema_version,
+                "content_hash": art.content_hash,
+            }
+            ok &= bool(loaded)
+        except artifact.ArtifactError as exc:
+            out[fname] = {"loaded": False, "error": str(exc)}
+            ok = False
+    out["all_loaded"] = ok
+    return out
+
+
+def regen_goldens() -> None:
+    for fname, sched in golden_recipes().items():
+        path = os.path.join(GOLDEN_DIR, fname)
+        art = artifact.save(sched, path)
+        print(f"{fname}: {art.content_hash} {art.structural_hash}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer repeats (CI); same workloads and size caps",
+    )
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument(
+        "--regen-goldens", action="store_true",
+        help="rewrite tests/golden/*.repro.json from the pinned recipes "
+             "(run in a fresh interpreter) instead of benchmarking",
+    )
+    args = parser.parse_args()
+    if args.regen_goldens:
+        regen_goldens()
+        return
+    repeats = args.repeats or (3 if args.smoke else 10)
+    rng = np.random.RandomState(0xA27F)
+
+    report = {
+        "benchmark": "artifact",
+        "mode": "smoke" if args.smoke else "full",
+        "configs": {},
+        "sizes": {},
+    }
+    rows = []
+    for name, (sched, inputs) in bench_configs(rng).items():
+        entry = run_config(name, sched, inputs, repeats)
+        report["configs"][name] = entry
+        report["sizes"][f"{name}_bytes"] = entry["bytes"]
+        rows.append(
+            [
+                name,
+                f"{entry['bytes']} B",
+                f"{entry['dumps_ms']:.2f} ms",
+                f"{entry['loads_ms']:.2f} ms",
+                entry["equal_outputs"],
+            ]
+        )
+
+    report["goldens"] = check_goldens()
+    equal_all = all(
+        e["equal_outputs"] for e in report["configs"].values()
+    )
+    report["equal_outputs"] = equal_all
+
+    lines = ["Portable artifacts: size, codec latency, fidelity", ""]
+    lines += table(
+        ["config", "size", "dumps", "loads+reconstruct", "equal"], rows
+    )
+    lines.append("")
+    lines.append(
+        f"loaded artifacts bit-identical to live schedules: {equal_all}; "
+        f"goldens load: {report['goldens']['all_loaded']}"
+    )
+    save_report("artifact", lines)
+
+    with open(JSON_PATH, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"\nwrote {JSON_PATH}")
+
+    assert equal_all, "artifact round-trip diverged from the live run"
+    assert report["goldens"]["all_loaded"], "a golden file failed to load"
+
+
+if __name__ == "__main__":
+    main()

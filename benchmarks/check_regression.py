@@ -14,6 +14,7 @@ Baseline schema (one file per benchmark, same filename)::
         {"path": "equal_outputs", "equals": true},
         {"path": "acceptance.adam_gpt3_64ranks_speedup", "min": 3.0},
         {"path": "median_overhead", "max": 1.25},
+        {"path": "sizes.adam_bytes", "max_bytes": 16384},
         {"path_num": "a.b", "path_den": "a.c", "min": 1.0}   # ratio
       ]
     }
@@ -21,7 +22,9 @@ Baseline schema (one file per benchmark, same filename)::
 Semantics: ``min`` floors pass when ``fresh >= min * (1 - tolerance)``;
 ``max`` caps pass when ``fresh <= max * (1 + tolerance)``; ``equals``
 must match exactly (no tolerance — used for booleans like
-``equal_outputs``). Ratio checks divide two paths of the fresh report
+``equal_outputs``); ``max_bytes`` is a *hard* cap with no tolerance —
+byte counts are deterministic, so any growth past the cap is a real
+size regression, not noise. Ratio checks divide two paths of the fresh report
 before applying the floor/cap.
 
 Usage::
@@ -129,6 +132,17 @@ def run_checks(
                     f"{label} REGRESSED: {float(value):.4g} > cap "
                     f"{check['max']:.4g}·(1+{tol:.0%}) = {cap:.4g}"
                 )
+        elif "max_bytes" in check:
+            # hard cap, deliberately tolerance-free: serialized sizes
+            # are deterministic, so exceeding the cap by even one byte
+            # means the format grew
+            cap = int(check["max_bytes"])
+            if int(value) <= cap:
+                passed.append(f"{label} = {int(value)} B <= {cap} B")
+            else:
+                failed.append(
+                    f"{label} GREW: {int(value)} B > hard cap {cap} B"
+                )
         else:
             failed.append(f"check has no min/max/equals: {check}")
     return passed, failed
@@ -137,10 +151,12 @@ def run_checks(
 def update_baseline(baseline: dict, report: dict) -> dict:
     """Refresh floors/caps from a fresh report (intentional shifts).
 
-    Only tunable ``min``/``max`` values are rewritten. ``equals``
-    checks guard correctness invariants (``equal_outputs`` and friends)
-    — refreshing them from a report whose numerics just broke would
-    silently disable the guard forever, so they are left untouched.
+    Only tunable ``min``/``max`` values are rewritten. ``max_bytes``
+    caps snap to the exact fresh byte count (sizes are deterministic,
+    so no margin is needed). ``equals`` checks guard correctness
+    invariants (``equal_outputs`` and friends) — refreshing them from
+    a report whose numerics just broke would silently disable the
+    guard forever, so they are left untouched.
     """
     out = dict(baseline)
     new_checks = []
@@ -151,6 +167,8 @@ def update_baseline(baseline: dict, report: dict) -> dict:
             check["min"] = round(float(value) * UPDATE_FLOOR_MARGIN, 4)
         elif "max" in check:
             check["max"] = round(float(value) * UPDATE_CAP_MARGIN, 4)
+        elif "max_bytes" in check:
+            check["max_bytes"] = int(value)
         new_checks.append(check)
     out["checks"] = new_checks
     return out

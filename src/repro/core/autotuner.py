@@ -282,97 +282,29 @@ class Autotuner:
 
     # -- canonical dedup key ------------------------------------------------
 
-    def _plan_signature(self, sched: Schedule) -> Tuple:
+    def _plan_signature(self, sched: Schedule) -> str:
         """Canonical lowered-execution key: what actually runs, not how
         we got there.
 
-        Computed on the lowered instruction stream
+        Delegates to :func:`repro.core.artifact.structural_hash` — the
+        same name-free structural digest every serialized artifact
+        carries — computed on the lowered instruction stream
         (:meth:`Schedule.lowered`, requested with the tuner's cluster so
         the cost model's evaluation reuses the same cache entry; the key
-        itself contains no resource names, so it is cluster-independent):
-        two move scripts that lower to the
-        same launches (kernel kind + member ops + dataflow) in the same
-        order with the same chunk-loop structure (members, chunk count,
-        ring/tiled shape, chunk modes) are the same candidate — and,
+        itself contains no resource names, so it is
+        cluster-independent). Two move scripts that lower to the same
+        launches (kernel kind + member ops + dataflow) in the same order
+        with the same chunk-loop structure are the same candidate — and,
         since all further moves depend only on the current program and
-        plan, so are their whole subtrees. Unlike the historical
-        ``tuple(sorted(script))`` key, order-*dependent* scripts hash
-        differently, so they are no longer silently skipped.
-
-        The key is deliberately *name-free* for operations: generated
-        names (``slice_p_32``, fused-block names) carry a global
-        counter, so the same plan reached via fork-per-move vs. replay
-        hashes differently by name. Instead every operation is
-        identified structurally — its type, salient attributes, output
-        size, and dataflow references (other operations by plan
-        position, program inputs by their stable declared names) — and
-        instructions reference kernels by plan position.
+        plan, so are their whole subtrees. Sharing the digest with the
+        artifact layer means an on-disk artifact's ``structural_hash``
+        *is* the tuner's dedup key for that schedule, which is what lets
+        a persistent schedule cache (ROADMAP item 2) be keyed by
+        artifact hash.
         """
-        from repro.core.lower import ChunkLoop, PackScattered
+        from repro.core import artifact
 
-        lowered = sched.lowered(cluster=self.cluster)
-        plan = lowered.plan
-        token: Dict[int, int] = {}
-        for k in plan.kernels:
-            for e in k.exprs:
-                token[id(e)] = len(token)
-
-        def ref(x) -> Tuple:
-            t = token.get(id(x))
-            if t is not None:
-                return ("op", t)
-            if isinstance(x, Const):
-                return ("const", x.value, x.dtype.name)
-            return (
-                "leaf", x.name, type(x.layout).__name__,
-                getattr(x.layout, "dim", None), x.per_rank_bytes(),
-            )
-
-        def entry(e) -> Tuple:
-            attrs: List[Tuple] = []
-            for f in (
-                "op", "reduction", "dim", "phase", "node_size",
-                "dst", "prob", "seed", "root",
-            ):
-                v = getattr(e, f, None)
-                if v is not None:
-                    attrs.append((f, str(v)))
-            if isinstance(e, ops.Cast):
-                attrs.append(("dtype", e.dtype.name))
-            if isinstance(e, ops.Update):
-                attrs.append(("target", ref(e.target)))
-            return (
-                type(e).__name__,
-                tuple(attrs),
-                type(e.layout).__name__,
-                getattr(e.layout, "dim", None),
-                e.per_rank_bytes(),
-                (e.group.start, e.group.size),
-                tuple(ref(i) for i in e.inputs),
-            )
-
-        index = {k.name: i for i, k in enumerate(plan.kernels)}
-        kernels = tuple(
-            (k.kind.value, tuple(entry(e) for e in k.exprs))
-            for k in plan.kernels
-        )
-        layout: List[Tuple] = []
-        for instr in lowered.instructions:
-            if isinstance(instr, PackScattered):
-                continue  # derived from its fused kernel, no new info
-            if isinstance(instr, ChunkLoop):
-                layout.append(
-                    (
-                        "chunkloop", instr.num_chunks, instr.ring,
-                        tuple(
-                            (index[e.name], e.mode)
-                            for e in instr.entries
-                        ),
-                    )
-                )
-            else:
-                layout.append(("launch", index[instr.name]))
-        return (kernels, tuple(layout))
+        return artifact.structural_hash(sched.lowered(cluster=self.cluster))
 
     # -- the search ---------------------------------------------------------
 
@@ -423,7 +355,7 @@ class Autotuner:
         evaluate("default", (), base)
         root = self._fresh(program)
         evaluate(_script_name(()), (), root)
-        seen: Set[Tuple] = {
+        seen: Set[str] = {
             self._plan_signature(base), self._plan_signature(root)
         }
 

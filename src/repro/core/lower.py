@@ -208,6 +208,11 @@ class LoweredProgram:
     program: Program
     plan: ExecutionPlan
     instructions: List[Instruction] = field(default_factory=list)
+    #: lazily built name -> Launch index; consumers call :meth:`launch_of`
+    #: once per kernel, which a linear rescan would make quadratic
+    _launch_index: Optional[Dict[str, Launch]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def launches(self) -> List[Launch]:
         """Every kernel launch, flattening chunk loops."""
@@ -220,10 +225,14 @@ class LoweredProgram:
         return out
 
     def launch_of(self, kernel_name: str) -> Launch:
-        for launch in self.launches():
-            if launch.name == kernel_name:
-                return launch
-        raise CoCoNetError(f"no launch for kernel {kernel_name!r}")
+        if self._launch_index is None:
+            self._launch_index = {l.name: l for l in self.launches()}
+        try:
+            return self._launch_index[kernel_name]
+        except KeyError:
+            raise CoCoNetError(
+                f"no launch for kernel {kernel_name!r}"
+            ) from None
 
     def chunk_loops(self) -> List[ChunkLoop]:
         return [i for i in self.instructions if isinstance(i, ChunkLoop)]

@@ -200,8 +200,14 @@ class ProgramCostModel:
 
         Schedules cache their lowering per version; plain programs are
         lowered on the fly (they have no transformation state to key a
-        cache on).
+        cache on). A deserialized :class:`repro.core.artifact.Artifact`
+        prices identically to the live lowering it was saved from — the
+        DES tasks are built from the reconstructed instruction stream.
         """
+        from repro.core.artifact import Artifact
+
+        if isinstance(scheduled, Artifact):
+            return scheduled.lowered()
         if isinstance(scheduled, Schedule):
             return scheduled.lowered(
                 cluster=self.cluster, overlap_chunks=self.overlap_chunks

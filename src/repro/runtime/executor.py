@@ -102,6 +102,12 @@ class Executor:
 
     def __init__(self, reference: bool = False) -> None:
         self.reference = reference
+        # Elastic recovery memo: (structural hash of the original
+        # schedule, world size) -> re-lowered Artifact, so repeated
+        # recoveries of the same workload skip re-lowering entirely.
+        self._elastic_cache: Dict[tuple, object] = {}
+        self.elastic_cache_hits = 0
+        self.elastic_cache_misses = 0
 
     def _make_world(
         self,
@@ -333,9 +339,20 @@ class Executor:
         failed ranks, attempted sizes and recovery wall-clock; outputs
         are bit-identical to a direct run at the recovered world size
         (same relowered program, same deterministic backend).
+
+        Re-lowered programs are memoized on the executor as serialized
+        artifacts keyed by (structural hash of the original schedule,
+        recovered world size): a second recovery of the same workload at
+        the same world size skips the lower-and-serialize step entirely
+        and executes the cached artifact (``relower`` is still called —
+        it also rebuilds the inputs for the smaller world). The hit is
+        recorded in ``result.elastic["artifact_cache"]`` and in the
+        executor's ``elastic_cache_hits`` / ``elastic_cache_misses``
+        counters.
         """
         import time as _time
 
+        from repro.core import artifact as artifact_mod
         from repro.errors import CoCoNetError
 
         program = scheduled.program if hasattr(scheduled, "program") \
@@ -351,6 +368,7 @@ class Executor:
                 dead_ranks=dead,
             ) from exc
         t0 = _time.perf_counter()
+        base_sig = artifact_mod.as_artifact(scheduled).structural_hash
         attempted = []
         last_error: Exception = exc
         for ws in range(world_size - len(dead), 0, -1):
@@ -363,14 +381,26 @@ class Executor:
                 scheduled2, inputs2 = relowered
             else:
                 scheduled2, inputs2 = relowered, inputs
+            cached = self._elastic_cache.get((base_sig, ws))
+            if cached is not None:
+                self.elastic_cache_hits += 1
+                cache_state = "hit"
+            else:
+                self.elastic_cache_misses += 1
+                cache_state = "miss"
+                cached = artifact_mod.as_artifact(scheduled2)
+                self._elastic_cache[(base_sig, ws)] = cached
             if tracer is not None:
                 tracer.instant(
                     "elastic-relower", cat="fault",
-                    args={"world_size": ws, "dead_ranks": dead},
+                    args={
+                        "world_size": ws, "dead_ranks": dead,
+                        "artifact_cache": cache_state,
+                    },
                 )
             try:
                 result = self._run_spmd_once(
-                    scheduled2, inputs2,
+                    cached, inputs2,
                     allow_downcast=allow_downcast, protocol=protocol,
                     wire_s_per_mb=wire_s_per_mb, timeout=timeout,
                     soft_timeout=soft_timeout, tracer=tracer,
@@ -385,6 +415,7 @@ class Executor:
                 "attempted": attempted,
                 "recovery_seconds": _time.perf_counter() - t0,
                 "cause": str(exc).splitlines()[0],
+                "artifact_cache": cache_state,
             }
             return result
         raise last_error
@@ -425,6 +456,7 @@ class Executor:
         (see :class:`repro.observe.LoweredRunRecorder`); both may be
         passed together.
         """
+        from repro.core.artifact import Artifact
         from repro.core.lower import (
             ChunkLoop,
             LoweredProgram,
@@ -439,7 +471,9 @@ class Executor:
                 "vectorized rank-major backend; use Executor() "
                 "(reference=False)"
             )
-        if isinstance(scheduled, LoweredProgram):
+        if isinstance(scheduled, Artifact):
+            lowered = scheduled.lowered()
+        elif isinstance(scheduled, LoweredProgram):
             lowered = scheduled
         elif isinstance(scheduled, Schedule):
             lowered = scheduled.lowered()

@@ -1176,9 +1176,33 @@ class _Stream(object):
 # ---------------------------------------------------------------------------
 
 
+def _module_source(spec) -> str:
+    """Resolve a worker module spec to executable source.
+
+    ``spec`` is either raw generated source (a plain string — the
+    historical path, still used when a caller hands ``launch`` an
+    explicit module) or ``("artifact", text, protocol)``: a serialized
+    :mod:`repro.core.artifact` document from which this rank derives
+    its module by deserializing the portable IR and running the code
+    generator locally — the worker never needs the originating Python
+    objects, only the artifact text.
+    """
+    if isinstance(spec, str):
+        return spec
+    kind = spec[0]
+    if kind == "artifact":
+        from repro.core import artifact as artifact_mod
+        from repro.core.codegen import CodeGenerator
+
+        art = artifact_mod.loads(spec[1])
+        gen = CodeGenerator(spec[2], target="spmd").generate(art.lowered())
+        return gen.source
+    raise ExecutionError(f"unknown SPMD module spec kind {kind!r}")
+
+
 def _rank_main(
     rank: int,
-    source: str,
+    source,
     layout: SpmdLayout,
     data_name: str,
     flags_name: str,
@@ -1198,7 +1222,10 @@ def _rank_main(
             faults=fault_plan,
         )
         namespace: Dict[str, object] = {}
-        exec(compile(source, f"<spmd rank {rank}>", "exec"), namespace)
+        exec(
+            compile(_module_source(source), f"<spmd rank {rank}>", "exec"),
+            namespace,
+        )
         # synchronize before timing so spawn stagger (rank 0 idling in
         # its first collective until the last process is up) does not
         # count as execution time
@@ -1268,7 +1295,7 @@ def _assemble(e, per_rank: Dict[int, np.ndarray]) -> np.ndarray:
 
 
 def launch(
-    source: str,
+    source: Optional[str],
     program,
     inputs: Mapping[str, np.ndarray],
     *,
@@ -1280,6 +1307,8 @@ def launch(
     fault_plan: Optional[FaultPlan] = None,
     trace_dir: Optional[str] = None,
     trace_capacity: int = 32768,
+    artifact_text: Optional[str] = None,
+    protocol: str = "Simple",
 ):
     """Run a generated SPMD module as one process per rank.
 
@@ -1312,8 +1341,31 @@ def launch(
     mapped files owned by the caller — they survive faulty-rank
     teardown and are *not* removed here, so the caller can merge them
     whether or not the run succeeded.
+
+    ``artifact_text``, when given, is a serialized
+    :mod:`repro.core.artifact` document: it is what ships to the rank
+    processes (each worker deserializes the portable IR and derives its
+    module with the code generator at the given ``protocol``), and
+    ``source`` may then be ``None``. When ``program`` is also ``None``
+    it is reconstructed from the artifact, so a saved artifact file is
+    sufficient to launch a full SPMD run. Without ``artifact_text``,
+    ``source`` must be the generated module source (the historical
+    path).
     """
     from repro.runtime.executor import ProgramResult
+
+    if artifact_text is not None:
+        module_spec = ("artifact", artifact_text, protocol)
+        if program is None:
+            from repro.core import artifact as artifact_mod
+
+            program = artifact_mod.loads(artifact_text).program
+    elif source is None:
+        raise ExecutionError(
+            "launch needs generated module source or artifact_text"
+        )
+    else:
+        module_spec = source
 
     world_size = program.inputs[0].group.world_size
     if nranks is not None and nranks != world_size:
@@ -1390,9 +1442,9 @@ def launch(
             p = ctx_mp.Process(
                 target=_rank_main,
                 args=(
-                    r, source, layout, data_name, flags_name, shards[r],
-                    wire_s_per_mb, timeout, soft_timeout, fault_plan,
-                    trace_paths[r], child_conn,
+                    r, module_spec, layout, data_name, flags_name,
+                    shards[r], wire_s_per_mb, timeout, soft_timeout,
+                    fault_plan, trace_paths[r], child_conn,
                 ),
                 daemon=True,
             )

@@ -178,6 +178,42 @@ class TestRatioChecks:
         assert cr.main([fresh, "--baselines", str(baselines)]) == 1
 
 
+class TestByteCaps:
+    """max_bytes: a hard, tolerance-free cap on deterministic sizes."""
+
+    @pytest.fixture
+    def size_env(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        write(
+            str(baselines / "BENCH_sz.json"),
+            {"tolerance": 0.50,  # must NOT soften the byte cap
+             "checks": [{"path": "sizes.adam_bytes",
+                         "max_bytes": 1000}]},
+        )
+        return baselines, tmp_path / "BENCH_sz.json"
+
+    def test_at_the_cap_passes(self, size_env):
+        baselines, fresh = size_env
+        write(str(fresh), {"sizes": {"adam_bytes": 1000}})
+        assert run_main(fresh, baselines) == 0
+
+    def test_one_byte_over_fails_despite_tolerance(self, size_env, capsys):
+        baselines, fresh = size_env
+        write(str(fresh), {"sizes": {"adam_bytes": 1001}})
+        assert run_main(fresh, baselines) == 1
+        assert "GREW" in capsys.readouterr().out
+
+    def test_update_snaps_cap_to_fresh_size(self, size_env):
+        baselines, fresh = size_env
+        write(str(fresh), {"sizes": {"adam_bytes": 1234}})
+        assert run_main(fresh, baselines, "--update-baselines") == 0
+        with open(baselines / "BENCH_sz.json") as f:
+            updated = json.load(f)
+        # exact, no margin: serialized sizes are deterministic
+        assert updated["checks"][0]["max_bytes"] == 1234
+        assert run_main(fresh, baselines) == 0
+
+
 class TestUpdateBaselines:
     def test_update_rewrites_floors_from_fresh(self, env):
         baselines, fresh = env
@@ -212,7 +248,7 @@ class TestCommittedBaselines:
         assert {
             "BENCH_runtime.json", "BENCH_lowering.json",
             "BENCH_tuner.json", "BENCH_moe.json", "BENCH_spmd.json",
-            "BENCH_faults.json",
+            "BENCH_faults.json", "BENCH_artifact.json",
         } <= set(names)
         for name in names:
             with open(os.path.join(cr.BASELINE_DIR, name)) as f:
@@ -224,5 +260,6 @@ class TestCommittedBaselines:
                     or ("path_num" in check and "path_den" in check)
                 ), (name, check)
                 assert (
-                    "min" in check or "max" in check or "equals" in check
+                    "min" in check or "max" in check
+                    or "max_bytes" in check or "equals" in check
                 ), (name, check)

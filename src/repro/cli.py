@@ -86,6 +86,8 @@ def _cmd_describe(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    import time
+
     from repro.core import artifact
     from repro.runtime.executor import Executor
 
@@ -93,19 +95,38 @@ def _cmd_run(args) -> int:
     program = art.program
     inputs = _seeded_inputs(program, args.seed)
     ex = Executor()
-    if args.backend == "lowered":
-        result = ex.run_lowered(art, inputs, allow_downcast=True)
-    elif args.backend == "spmd":
-        result = ex.run_spmd(
-            art, inputs, allow_downcast=True, timeout=args.timeout
-        )
-    elif args.backend == "dfg":
-        result = ex.run(program, inputs, allow_downcast=True)
-    else:  # pragma: no cover - argparse choices guard this
+    repeat = max(1, args.repeat)
+
+    def one_run():
+        if args.backend == "lowered":
+            return ex.run_lowered(art, inputs, allow_downcast=True)
+        if args.backend == "spmd":
+            return ex.run_spmd(
+                art, inputs, allow_downcast=True, timeout=args.timeout
+            )
+        if args.backend == "native":
+            return ex.run_spmd(
+                art, inputs, allow_downcast=True, timeout=args.timeout,
+                codegen_target="native",
+            )
+        if args.backend == "dfg":
+            return ex.run(program, inputs, allow_downcast=True)
+        # pragma: no cover - argparse choices guard this
         raise CoCoNetError(f"unknown backend {args.backend!r}")
+
     print(f"program:  {program.name}")
     print(f"backend:  {args.backend}")
     print(f"seed:     {args.seed}")
+    result = None
+    for i in range(repeat):
+        t0 = time.perf_counter()
+        result = one_run()
+        wall = time.perf_counter() - t0
+        if repeat > 1:
+            # per-iteration wall-clock next to the digest: iteration 1
+            # of a native run includes the one-time kernel compile, so
+            # the cold-vs-warm gap is visible in one invocation
+            print(f"iter {i + 1}: {wall:.6f}s  {_digest(result)}")
     for name in result.output_names:
         arr = result.output(name)
         print(f"output {name}: dtype={arr.dtype} shape={tuple(arr.shape)}")
@@ -169,10 +190,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("artifact", help="path to a saved artifact")
     p.add_argument(
         "--backend",
-        choices=("lowered", "spmd", "dfg"),
+        choices=("lowered", "spmd", "native", "dfg"),
         default="lowered",
         help="lowered interpreter (default), one real OS process per "
-        "rank, or the raw-DFG oracle",
+        "rank, per-rank processes with compiled C kernels, or the "
+        "raw-DFG oracle",
     )
     p.add_argument(
         "--seed", type=int, default=0,
@@ -180,7 +202,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--timeout", type=float, default=60.0,
-        help="spmd rendezvous timeout in seconds (default 60)",
+        help="spmd rendezvous timeout in seconds (default 60); the "
+        "native backend adds a one-time allowance on a cold kernel "
+        "cache",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=1,
+        help="run N iterations, printing per-iteration wall-clock "
+        "alongside the output digest (default 1)",
     )
     p.set_defaults(fn=_cmd_run)
 

@@ -26,6 +26,14 @@ Generated line counts feed Table 3.
 per-rank program whose kernels bind to a
 :class:`repro.runtime.spmd.SpmdCommunicator` and execute as one real OS
 process per rank (:class:`GeneratedSpmdProgram`).
+
+``CodeGenerator(target="native")`` emits the same per-rank module with
+the compute segments rendered to C — elementwise chains fused into one
+compiled loop each, GEMMs dispatched to BLAS — built with ``cc`` and
+memoized in :mod:`repro.core.codegen.native`'s on-disk
+content-addressed kernel cache. Communication still runs over the
+``SpmdCommunicator``, so overlap chunk loops release real compute
+early.
 """
 
 from repro.core.codegen.generator import (

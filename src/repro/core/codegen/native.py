@@ -1,0 +1,954 @@
+"""Native compiled codegen target: C kernels + a content-hash cache.
+
+The SPMD backend executes generated *Python* per rank, so after PR 5
+the interpreter is the hot path: every elementwise op pays a float64
+temporary and a full memory pass, and fp16 GEMMs fall into numpy's
+generic (BLAS-less) inner loop. This module renders the compute parts
+of a :class:`~repro.core.lower.LoweredProgram` kernel to C — maximal
+runs of elementwise ops fused into a *single* loop per segment, GEMMs
+dispatched to BLAS — compiles them with ``cc`` into one shared object
+per module, and memoizes the objects in an on-disk content-addressed
+kernel cache (tinygrad's hash→compile→``lru_cache`` pipeline, DaCe's
+build-folder flow).
+
+Bit-identity contract
+---------------------
+The Python emission computes ``+ - * / pow sqrt rsqrt tanh exp`` in
+float64 (operands upcast via ``astype(np.float64)``) and casts the
+result to the expression dtype; ``max/min/relu/abs`` and ``Cast``
+operate on the native-dtype values directly. The C loop mirrors this
+exactly: every value is carried as a ``double``, each expression's
+result is rounded to its declared dtype domain immediately
+(``(double)(float)x`` for fp32, a correctly-rounded half round-trip
+for fp16), comparisons/abs are exact on the upconverted doubles, and
+``max``/``min`` use numpy's ``(a > b || isnan(a)) ? a : b`` formula.
+fp16 conversions implement IEEE round-to-nearest-even from the double
+— the same single-step rounding numpy's ``astype(np.float16)`` does —
+so elementwise-only programs are **bit-identical** to ``run_lowered``.
+GEMMs go to BLAS (or a naive tiled fallback) whose accumulation order
+differs from ``np.matmul``; those carry the documented fp tolerance
+(see EXPERIMENTS.md, "Native codegen").
+
+Kernel cache
+------------
+``~/.cache/repro/kernels/<sha256>.so`` (override with
+``$REPRO_KERNEL_CACHE``), keyed by SHA-256 over the C source plus the
+compiler identity and flags. Writes are concurrent-safe — every rank
+process of a cold-cache run compiles behind a ``flock`` and installs
+via atomic ``os.replace`` — and stale/corrupt entries (unloadable or
+missing the expected symbols) are deleted and recompiled once.
+Hit/miss/compile-time counters land in :data:`metrics` (a
+:class:`~repro.observe.metrics.MetricsRegistry`) and, when a
+communicator is passed as ``observer``, in the rank's trace ring as
+instant events so Perfetto timelines show compile stalls.
+
+BLAS binding
+------------
+The compiled object never links BLAS: it exports
+``repro_bind_blas(void* sgemm, void* dgemm)`` and the loader injects
+raw cblas function pointers found at runtime (system
+``cblas``/``openblas`` first, then scipy's bundled
+``scipy_cblas_*gemm``). NULL pointers fall back to the naive tiled C
+GEMM — so the cache key is independent of which BLAS (if any) the
+machine has.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import ctypes.util
+import glob
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import ops
+from repro.core.tensor import Const, Expr
+from repro.errors import CodegenError
+from repro.observe.metrics import MetricsRegistry
+
+__all__ = [
+    "available",
+    "toolchain_report",
+    "metrics",
+    "load_kernels",
+    "cold_compile_allowance",
+    "cache_dir",
+    "CompiledKernels",
+    "NativeEmitter",
+    "PRELUDE",
+    "DEFAULT_COMPILE_ALLOWANCE",
+]
+
+#: module-wide cache counters: ``native.cache.memo_hits`` (in-process),
+#: ``native.cache.disk_hits``, ``native.cache.compiles``,
+#: ``native.cache.compile_seconds``, ``native.cache.recompiles``
+metrics = MetricsRegistry()
+
+#: seconds added to the SPMD rendezvous deadline for a cold-cache run
+DEFAULT_COMPILE_ALLOWANCE = 45.0
+
+_CFLAGS = ("-O3", "-fPIC", "-shared", "-ffp-contract=off", "-fno-math-errno")
+
+
+# ---------------------------------------------------------------------------
+# Toolchain discovery.
+# ---------------------------------------------------------------------------
+
+
+def _find_cc() -> Optional[str]:
+    env = os.environ.get("CC")
+    if env:
+        path = shutil.which(env)
+        if path:
+            return path
+    for cand in ("cc", "gcc", "clang"):
+        path = shutil.which(cand)
+        if path:
+            return path
+    return None
+
+
+_CC_VERSION: Dict[str, str] = {}
+
+
+def _cc_version(cc: str) -> str:
+    if cc not in _CC_VERSION:
+        try:
+            out = subprocess.run(
+                [cc, "--version"], capture_output=True, text=True, timeout=30
+            ).stdout
+            _CC_VERSION[cc] = out.splitlines()[0] if out else cc
+        except (OSError, subprocess.SubprocessError):
+            _CC_VERSION[cc] = cc
+    return _CC_VERSION[cc]
+
+
+def available() -> bool:
+    """True when a C compiler is on PATH (the native target's only need)."""
+    return _find_cc() is not None
+
+
+class _Blas:
+    def __init__(self, path: str, lib, sgemm, dgemm) -> None:
+        self.path = path
+        self.lib = lib  # keep the dlopen handle alive
+        self.sgemm = sgemm
+        self.dgemm = dgemm
+
+
+_BLAS: "List[Optional[_Blas]]" = []  # lazy singleton ([] = unprobed)
+
+
+def _blas_candidates() -> List[str]:
+    paths: List[str] = []
+    env = os.environ.get("REPRO_BLAS")
+    if env:
+        paths.append(env)
+    for name in ("cblas", "openblas", "blas"):
+        found = ctypes.util.find_library(name)
+        if found:
+            paths.append(found)
+    try:  # scipy bundles an LP64 openblas with scipy_cblas_* symbols
+        import scipy
+
+        libs = os.path.join(os.path.dirname(scipy.__file__), "..",
+                            "scipy.libs", "*.so*")
+        paths.extend(sorted(glob.glob(libs)))
+    except ImportError:  # pragma: no cover - scipy is in the test env
+        pass
+    return paths
+
+
+def _load_blas() -> Optional[_Blas]:
+    if _BLAS:
+        return _BLAS[0]
+    found = None
+    for path in _blas_candidates():
+        try:
+            lib = ctypes.CDLL(path)
+        except OSError:
+            continue
+        for prefix in ("cblas_", "scipy_cblas_"):
+            try:
+                sgemm = getattr(lib, prefix + "sgemm")
+                dgemm = getattr(lib, prefix + "dgemm")
+            except AttributeError:
+                continue
+            # single-threaded BLAS: one process per rank already uses
+            # every core, and a fixed thread count keeps gemm results
+            # deterministic across repeat runs
+            for setter in (
+                "openblas_set_num_threads",
+                "scipy_openblas_set_num_threads",
+                "goto_set_num_threads",
+            ):
+                try:
+                    getattr(lib, setter)(1)
+                    break
+                except AttributeError:
+                    continue
+            found = _Blas(path, lib, sgemm, dgemm)
+            break
+        if found:
+            break
+    _BLAS.append(found)
+    return found
+
+
+def cache_dir() -> str:
+    """On-disk kernel cache root (``$REPRO_KERNEL_CACHE`` overrides)."""
+    return os.path.expanduser(
+        os.environ.get("REPRO_KERNEL_CACHE")
+        or os.path.join("~", ".cache", "repro", "kernels")
+    )
+
+
+def toolchain_report() -> Dict[str, object]:
+    """What the native target found on this machine (CI prints this)."""
+    cc = _find_cc()
+    blas = _load_blas()
+    cdir = cache_dir()
+    try:
+        cached = len([f for f in os.listdir(cdir) if f.endswith(".so")])
+    except OSError:
+        cached = 0
+    return {
+        "cc": cc,
+        "cc_version": _cc_version(cc) if cc else None,
+        "blas": blas.path if blas else None,
+        "cache_dir": cdir,
+        "cached_kernels": cached,
+    }
+
+
+# ---------------------------------------------------------------------------
+# C prelude: half conversions, op helpers, GEMM dispatch.
+# ---------------------------------------------------------------------------
+
+PRELUDE = r"""
+#include <stdint.h>
+#include <string.h>
+#include <math.h>
+
+/* -- IEEE half <-> double, bit-exact with numpy's astype ------------- */
+
+static inline double repro_h2d(uint16_t h) {
+    uint32_t sign = (uint32_t)(h >> 15) << 31;
+    uint32_t exp = (h >> 10) & 0x1fu;
+    uint32_t man = h & 0x3ffu;
+    uint32_t f;
+    float out;
+    if (exp == 0) {
+        if (man == 0) {
+            f = sign;                       /* +-0 */
+        } else {                            /* subnormal: normalize */
+            exp = 113;                      /* 127 - 15 + 1 */
+            while (!(man & 0x400u)) { man <<= 1; exp--; }
+            f = sign | (exp << 23) | ((man & 0x3ffu) << 13);
+        }
+    } else if (exp == 31) {                 /* inf / nan, keep payload */
+        f = sign | 0x7f800000u | (man << 13);
+    } else {
+        f = sign | ((exp + 112u) << 23) | (man << 13);
+    }
+    memcpy(&out, &f, 4);
+    return (double)out;
+}
+
+/* round-to-nearest-even double -> half, single-step (no double
+ * rounding through float) — matches numpy's float64->float16 cast */
+static inline uint16_t repro_d2h(double d) {
+    uint64_t bits;
+    memcpy(&bits, &d, 8);
+    uint16_t sign = (uint16_t)((bits >> 48) & 0x8000u);
+    uint64_t mag = bits & 0x7fffffffffffffffULL;
+    int e;
+    uint64_t m, keep, rem, half;
+    int shift;
+    if (mag >= 0x7ff0000000000000ULL) {     /* inf / nan */
+        return mag > 0x7ff0000000000000ULL ? (uint16_t)(sign | 0x7e00u)
+                                           : (uint16_t)(sign | 0x7c00u);
+    }
+    e = (int)(mag >> 52) - 1023;
+    if (e >= 16) return (uint16_t)(sign | 0x7c00u);   /* overflow */
+    /* 53-bit significand; double subnormals (biased exp 0) get a bogus
+     * implicit bit but land in the shift>63 underflow branch anyway */
+    m = (mag & 0xfffffffffffffULL) | 0x10000000000000ULL;
+    if (e >= -14) {                         /* normal half range */
+        shift = 42;
+        keep = m >> shift;
+        rem = m & ((1ULL << shift) - 1);
+        half = 1ULL << (shift - 1);
+        if (rem > half || (rem == half && (keep & 1))) keep++;
+        /* keep==0x800 bumps the exponent (and 30<<10 + 0x400 == inf) */
+        return (uint16_t)(sign | (((uint64_t)(e + 15) << 10)
+                                  + (keep - 0x400ULL)));
+    }
+    shift = 28 - e;                         /* half-subnormal domain */
+    if (shift > 63) return sign;            /* underflow to +-0 */
+    keep = m >> shift;
+    rem = m & ((1ULL << shift) - 1);
+    half = 1ULL << (shift - 1);
+    if (rem > half || (rem == half && (keep & 1))) keep++;
+    return (uint16_t)(sign | keep);         /* 0x400 = smallest normal */
+}
+
+/* numpy maximum/minimum: (in1 OP in2 || isnan(in1)) ? in1 : in2 */
+static inline double repro_max(double a, double b) {
+    return (a > b || a != a) ? a : b;
+}
+static inline double repro_min(double a, double b) {
+    return (a < b || a != a) ? a : b;
+}
+
+/* -- GEMM: injected cblas pointers with a naive tiled fallback ------- */
+
+typedef void (*repro_sgemm_t)(int, int, int, int, int, int, float,
+                              const float*, int, const float*, int,
+                              float, float*, int);
+typedef void (*repro_dgemm_t)(int, int, int, int, int, int, double,
+                              const double*, int, const double*, int,
+                              double, double*, int);
+static repro_sgemm_t repro_sgemm = 0;
+static repro_dgemm_t repro_dgemm = 0;
+
+void repro_bind_blas(void* sgemm, void* dgemm) {
+    repro_sgemm = (repro_sgemm_t)sgemm;
+    repro_dgemm = (repro_dgemm_t)dgemm;
+}
+
+#define REPRO_GEMM_BK 64
+#define REPRO_GEMM_BJ 256
+
+static void repro_naive_sgemm(const float* a, const float* b, float* c,
+                              long long M, long long N, long long K) {
+    long long i, j, k, kk, jj, kmax, jmax;
+    for (i = 0; i < M * N; ++i) c[i] = 0.0f;
+    for (kk = 0; kk < K; kk += REPRO_GEMM_BK) {
+        kmax = kk + REPRO_GEMM_BK < K ? kk + REPRO_GEMM_BK : K;
+        for (jj = 0; jj < N; jj += REPRO_GEMM_BJ) {
+            jmax = jj + REPRO_GEMM_BJ < N ? jj + REPRO_GEMM_BJ : N;
+            for (i = 0; i < M; ++i) {
+                for (k = kk; k < kmax; ++k) {
+                    float av = a[i * K + k];
+                    for (j = jj; j < jmax; ++j)
+                        c[i * N + j] += av * b[k * N + j];
+                }
+            }
+        }
+    }
+}
+
+static void repro_naive_dgemm(const double* a, const double* b, double* c,
+                              long long M, long long N, long long K) {
+    long long i, j, k, kk, jj, kmax, jmax;
+    for (i = 0; i < M * N; ++i) c[i] = 0.0;
+    for (kk = 0; kk < K; kk += REPRO_GEMM_BK) {
+        kmax = kk + REPRO_GEMM_BK < K ? kk + REPRO_GEMM_BK : K;
+        for (jj = 0; jj < N; jj += REPRO_GEMM_BJ) {
+            jmax = jj + REPRO_GEMM_BJ < N ? jj + REPRO_GEMM_BJ : N;
+            for (i = 0; i < M; ++i) {
+                for (k = kk; k < kmax; ++k) {
+                    double av = a[i * K + k];
+                    for (j = jj; j < jmax; ++j)
+                        c[i * N + j] += av * b[k * N + j];
+                }
+            }
+        }
+    }
+}
+
+static inline void repro_gemm_f32(const float* a, const float* b, float* c,
+                                  long long M, long long N, long long K) {
+    if (repro_sgemm) {
+        /* 101 = CblasRowMajor, 111 = CblasNoTrans */
+        repro_sgemm(101, 111, 111, (int)M, (int)N, (int)K, 1.0f,
+                    a, (int)K, b, (int)N, 0.0f, c, (int)N);
+    } else {
+        repro_naive_sgemm(a, b, c, M, N, K);
+    }
+}
+
+static inline void repro_gemm_f64(const double* a, const double* b,
+                                  double* c, long long M, long long N,
+                                  long long K) {
+    if (repro_dgemm) {
+        repro_dgemm(101, 111, 111, (int)M, (int)N, (int)K, 1.0,
+                    a, (int)K, b, (int)N, 0.0, c, (int)N);
+    } else {
+        repro_naive_dgemm(a, b, c, M, N, K);
+    }
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed kernel cache + compiled-module handle.
+# ---------------------------------------------------------------------------
+
+#: in-process memo in front of the disk cache: sha -> CompiledKernels
+_MEMO: Dict[str, "CompiledKernels"] = {}
+
+
+def source_key(c_source: str) -> str:
+    """SHA-256 over the C source plus the compiler identity and flags."""
+    cc = _find_cc() or ""
+    h = hashlib.sha256()
+    h.update(c_source.encode())
+    h.update(b"\x00")
+    h.update(cc.encode())
+    h.update(_cc_version(cc).encode() if cc else b"")
+    h.update(" ".join(_CFLAGS).encode())
+    return h.hexdigest()
+
+
+class CompiledKernels:
+    """A loaded kernel shared object; ``call`` invokes one C function.
+
+    Every generated function has the uniform ABI
+    ``void f(char** bufs, double* scalars)`` with shapes, loop bounds
+    and broadcast strides baked into the source, so the Python side
+    only marshals base pointers (a ctypes foreign call releases the
+    GIL — the overlap producer stream keeps running during compute).
+    """
+
+    def __init__(self, lib: ctypes.CDLL, key: str, path: str) -> None:
+        self._lib = lib
+        self.key = key
+        self.path = path
+        self._fns: Dict[str, object] = {}
+        bind = lib.repro_bind_blas
+        bind.argtypes = [ctypes.c_void_p, ctypes.c_void_p]
+        bind.restype = None
+        blas = _load_blas()
+        if blas is not None:
+            bind(
+                ctypes.cast(blas.sgemm, ctypes.c_void_p),
+                ctypes.cast(blas.dgemm, ctypes.c_void_p),
+            )
+        self.blas = blas.path if blas is not None else None
+
+    def _fn(self, name: str):
+        fn = self._fns.get(name)
+        if fn is None:
+            fn = getattr(self._lib, name)
+            fn.argtypes = [
+                ctypes.POINTER(ctypes.c_void_p),
+                ctypes.POINTER(ctypes.c_double),
+            ]
+            fn.restype = None
+            self._fns[name] = fn
+        return fn
+
+    def call(
+        self,
+        name: str,
+        arrays: Sequence[np.ndarray],
+        scalars: Sequence[float] = (),
+    ) -> None:
+        bufs = []
+        for a in arrays:
+            if not a.flags["C_CONTIGUOUS"]:
+                # inputs only — outputs are freshly np.empty'd and
+                # always contiguous, so the copy never detaches a result
+                a = np.ascontiguousarray(a)
+            bufs.append(a.ctypes.data)
+        ptrs = (ctypes.c_void_p * len(bufs))(*bufs)
+        sc = (ctypes.c_double * max(1, len(scalars)))(*scalars)
+        self._fn(name)(ptrs, sc)
+
+
+def _compile(c_source: str, so_path: str) -> None:
+    cc = _find_cc()
+    if cc is None:
+        raise CodegenError(
+            "native codegen target needs a C compiler (cc/gcc/clang) on "
+            "PATH — none found"
+        )
+    os.makedirs(os.path.dirname(so_path), exist_ok=True)
+    fd, c_path = tempfile.mkstemp(
+        suffix=".c", dir=os.path.dirname(so_path)
+    )
+    tmp_so = c_path[:-2] + ".so.tmp"
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(c_source)
+        proc = subprocess.run(
+            [cc, *_CFLAGS, "-o", tmp_so, c_path, "-lm"],
+            capture_output=True, text=True, timeout=300,
+        )
+        if proc.returncode != 0:
+            raise CodegenError(
+                f"kernel compilation failed ({cc}):\n{proc.stderr[-4000:]}"
+            )
+        # atomic install: concurrent rank processes compiling the same
+        # source race benignly — last replace wins, all see a valid .so
+        os.replace(tmp_so, so_path)
+    finally:
+        for p in (c_path, tmp_so):
+            try:
+                os.remove(p)
+            except OSError:
+                pass
+
+
+def _try_load(key: str, so_path: str) -> Optional[CompiledKernels]:
+    try:
+        lib = ctypes.CDLL(so_path)
+        if not hasattr(lib, "repro_bind_blas"):
+            raise OSError("missing repro_bind_blas (stale cache entry)")
+        return CompiledKernels(lib, key, so_path)
+    except (OSError, AttributeError):
+        return None
+
+
+class _FileLock:
+    """``flock`` guard so one process compiles while peers wait."""
+
+    def __init__(self, path: str) -> None:
+        self._path = path
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_FileLock":
+        try:
+            import fcntl
+
+            os.makedirs(os.path.dirname(self._path), exist_ok=True)
+            self._fd = os.open(self._path, os.O_CREAT | os.O_RDWR)
+            fcntl.flock(self._fd, fcntl.LOCK_EX)
+        except (ImportError, OSError):  # pragma: no cover - non-POSIX
+            self._fd = None
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._fd is not None:
+            try:
+                import fcntl
+
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            except (ImportError, OSError):  # pragma: no cover
+                pass
+            os.close(self._fd)
+
+
+def load_kernels(c_source: str, observer=None) -> CompiledKernels:
+    """Resolve C source to a loaded shared object via the kernel cache.
+
+    In-process memo first, then ``cache_dir()/<sha256>.so``, then a
+    locked compile with atomic install. ``observer``, when given, is a
+    :class:`~repro.runtime.spmd.SpmdCommunicator` (or anything with
+    ``record_compile(name, seconds, status)``) that receives one
+    instant event per cache outcome for the Perfetto timeline.
+    """
+    key = source_key(c_source)
+    memo = _MEMO.get(key)
+    if memo is not None:
+        metrics.inc("native.cache.memo_hits")
+        return memo
+    so_path = os.path.join(cache_dir(), f"{key}.so")
+    t0 = time.perf_counter()
+    with _FileLock(so_path + ".lock"):
+        compiled = None
+        status = "hit"
+        if os.path.exists(so_path):
+            compiled = _try_load(key, so_path)
+            if compiled is None:
+                # stale/corrupt entry: drop it and recompile below
+                metrics.inc("native.cache.recompiles")
+                status = "recompile"
+                try:
+                    os.remove(so_path)
+                except OSError:
+                    pass
+        if compiled is None:
+            if status == "hit":
+                status = "compile"
+            _compile(c_source, so_path)
+            compiled = _try_load(key, so_path)
+            if compiled is None:  # pragma: no cover - defensive
+                raise CodegenError(
+                    f"compiled kernel at {so_path} is unloadable"
+                )
+            metrics.inc("native.cache.compiles")
+            metrics.inc(
+                "native.cache.compile_seconds", time.perf_counter() - t0
+            )
+        else:
+            metrics.inc("native.cache.disk_hits")
+    seconds = time.perf_counter() - t0
+    if observer is not None:
+        recorder = getattr(observer, "record_compile", None)
+        if recorder is not None:
+            recorder(key[:12], seconds, status)
+    _MEMO[key] = compiled
+    return compiled
+
+
+def cold_compile_allowance(c_source: str) -> float:
+    """Extra rendezvous headroom when this source is not yet cached.
+
+    Zero on a warm cache — the satellite fix for
+    :func:`repro.runtime.spmd.scaled_default_timeout`, which otherwise
+    ignores first-run compile latency and lets a cold-cache SPMD run
+    trip ``SpmdTimeout``.
+    """
+    key = source_key(c_source)
+    if key in _MEMO:
+        return 0.0
+    if os.path.exists(os.path.join(cache_dir(), f"{key}.so")):
+        return 0.0
+    return DEFAULT_COMPILE_ALLOWANCE
+
+
+# ---------------------------------------------------------------------------
+# The C renderer used by the code generator.
+# ---------------------------------------------------------------------------
+
+#: ops whose Python emission the C loop reproduces bit-exactly
+_C_BINARY = ("+", "-", "*", "/", "max", "min")
+_C_UNARY = ("sqrt", "rsqrt", "relu", "abs")
+
+_CTYPE = {"float16": "uint16_t", "float32": "float", "float64": "double"}
+
+
+def _cdt(dtype) -> Optional[str]:
+    name = dtype.to_numpy().name
+    return name if name in _CTYPE else None
+
+
+def _prod(shape: Tuple[int, ...]) -> int:
+    n = 1
+    for s in shape:
+        n *= int(s)
+    return n
+
+
+def _strip1(shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    i = 0
+    while i < len(shape) and shape[i] == 1:
+        i += 1
+    return tuple(shape[i:])
+
+
+def _suffix_ok(si: Tuple[int, ...], so: Tuple[int, ...]) -> bool:
+    """Row-major flat ``i % prod(si)`` reproduces numpy broadcasting."""
+    s = _strip1(si)
+    if not s:
+        return True
+    return tuple(so[len(so) - len(s):]) == s if len(s) <= len(so) else False
+
+
+def _sanitize(name: str) -> str:
+    return "".join(ch if ch.isalnum() or ch == "_" else "_" for ch in name)
+
+
+def _load(cvar: str, dt: str, idx: str) -> str:
+    if dt == "float16":
+        return f"repro_h2d({cvar}[{idx}])"
+    if dt == "float32":
+        return f"(double){cvar}[{idx}]"
+    return f"{cvar}[{idx}]"
+
+
+def _store(cvar: str, dt: str, idx: str, val: str) -> str:
+    if dt == "float16":
+        return f"{cvar}[{idx}] = repro_d2h({val});"
+    if dt == "float32":
+        return f"{cvar}[{idx}] = (float){val};"
+    return f"{cvar}[{idx}] = {val};"
+
+
+def _round(dt: str, expr: str) -> str:
+    """Round a double to the expression dtype's value domain."""
+    if dt == "float16":
+        return f"repro_h2d(repro_d2h({expr}))"
+    if dt == "float32":
+        return f"(double)(float)({expr})"
+    return expr
+
+
+class _Array:
+    def __init__(self, cvar: str, dt: str, py_ref: str, n: int) -> None:
+        self.cvar = cvar
+        self.dt = dt
+        self.py_ref = py_ref
+        self.n = n
+
+
+class NativeEmitter:
+    """Renders C functions for a lowered program's compute segments.
+
+    Owned by one :class:`~repro.core.codegen.generator.CodeGenerator`
+    invocation; the generator calls :meth:`emit_segment` where it would
+    otherwise emit per-op numpy lines and :meth:`emit_gemm` for MatMul
+    expressions, then embeds :meth:`c_source` into the module.
+    """
+
+    def __init__(self, lowered) -> None:
+        self.functions: List[str] = []
+        self._fn_names: Dict[str, int] = {}
+        self._consumers: Dict[int, List[Expr]] = {}
+        for k in lowered.plan.kernels:
+            for e in k.exprs:
+                for x in e.inputs:
+                    self._consumers.setdefault(id(x), []).append(e)
+        self._output_ids = {id(o) for o in lowered.program.outputs}
+
+    @property
+    def used(self) -> bool:
+        return bool(self.functions)
+
+    def c_source(self) -> Optional[str]:
+        if not self.functions:
+            return None
+        return PRELUDE + "\n" + "\n".join(self.functions)
+
+    # -- naming ---------------------------------------------------------
+
+    def _fresh_fn(self, base: str) -> str:
+        base = _sanitize(base)
+        n = self._fn_names.get(base, 0)
+        self._fn_names[base] = n + 1
+        return base if n == 0 else f"{base}_{n}"
+
+    # -- qualification --------------------------------------------------
+
+    def _c_able(self, e: Expr) -> bool:
+        if isinstance(e, ops.Binary):
+            if e.op not in _C_BINARY:
+                return False
+        elif isinstance(e, ops.Unary):
+            if e.op not in _C_UNARY:
+                return False
+        elif isinstance(e, ops.Update):
+            # the V-store runs in C; the T write stays in Python
+            if e.per_rank_shape() != e.inputs[0].per_rank_shape():
+                return False
+        elif not isinstance(e, ops.Cast):
+            return False
+        if _cdt(e.dtype) is None:
+            return False
+        oshape = e.per_rank_shape()
+        if _prod(oshape) < 2:
+            return False  # scalars stay in Python (they cost nothing)
+        for x in e.inputs:
+            if _cdt(x.dtype) is None:
+                return False
+            xs = x.per_rank_shape()
+            if _prod(xs) == 1:
+                continue  # scalar broadcast via the scalars array
+            if not _suffix_ok(xs, oshape):
+                return False
+        return True
+
+    def _escapes(self, e: Expr, run_ids: set) -> bool:
+        if id(e) in self._output_ids or isinstance(e, ops.Update):
+            return True
+        consumers = self._consumers.get(id(e))
+        if not consumers:
+            return True  # unknown reader — store defensively
+        return any(id(c) not in run_ids for c in consumers)
+
+    # -- segment emission -----------------------------------------------
+
+    def emit_segment(self, gen, em, exprs: Sequence[Expr]) -> None:
+        """Emit one compute segment: fused C runs + Python fallbacks.
+
+        Maximal runs of C-able elementwise expressions with the same
+        flat per-rank element count become one compiled loop each;
+        everything else goes through the generator's normal
+        ``_emit_op`` emission, reading and writing the same ``V``.
+        """
+        runs: List[Tuple[str, List[Expr], int]] = []
+        for e in exprs:
+            if self._c_able(e):
+                n = _prod(e.per_rank_shape())
+                if runs and runs[-1][0] == "c" and runs[-1][2] == n:
+                    runs[-1][1].append(e)
+                else:
+                    runs.append(("c", [e], n))
+            else:
+                if runs and runs[-1][0] == "py":
+                    runs[-1][1].append(e)
+                else:
+                    runs.append(("py", [e], 0))
+        for kind, group, n in runs:
+            if kind == "py":
+                for e in group:
+                    gen._emit_op(em, e)
+            else:
+                self._emit_c_run(gen, em, group, n)
+
+    def _emit_c_run(self, gen, em, run: List[Expr], n: int) -> None:
+        run_ids = {id(e) for e in run}
+        var_of: Dict[int, str] = {}
+        arrays: List[_Array] = []
+        arr_index: Dict[str, int] = {}
+        scalars: List[str] = []
+        scalar_index: Dict[str, int] = {}
+        body: List[str] = []
+
+        def operand(x: Expr) -> str:
+            if id(x) in var_of:
+                return var_of[id(x)]
+            if isinstance(x, Const):
+                # bake the literal, rounded to the Const's declared
+                # dtype first — the Python path materializes e.g. an
+                # FP32 0.1 as float64(float32(0.1)), not the raw double
+                val = float(np.asarray(x.value, dtype=x.dtype.to_numpy()))
+                key = f"c:{x.name}"
+                if key not in scalar_index:
+                    scalar_index[key] = len(scalars)
+                    scalars.append(repr(val))
+                return f"S[{scalar_index[key]}]"
+            nx = _prod(x.per_rank_shape())
+            if nx == 1:
+                # 0-d value read from V; float() is the exact f64 upcast
+                if x.name not in scalar_index:
+                    scalar_index[x.name] = len(scalars)
+                    scalars.append(f"float(V[{x.name!r}])")
+                return f"S[{scalar_index[x.name]}]"
+            if x.name not in arr_index:
+                arr_index[x.name] = len(arrays)
+                arrays.append(_Array(
+                    f"a{len(arrays)}", _cdt(x.dtype),
+                    f"V[{x.name!r}]", nx,
+                ))
+            a = arrays[arr_index[x.name]]
+            idx = "i" if a.n == n else f"i % {a.n}LL"
+            return _load(a.cvar, a.dt, idx)
+
+        stores: List[Tuple[Expr, _Array]] = []
+        for j, e in enumerate(run):
+            if isinstance(e, ops.Binary):
+                a, b = (operand(x) for x in e.inputs)
+                if e.op == "max":
+                    core = f"repro_max({a}, {b})"
+                elif e.op == "min":
+                    core = f"repro_min({a}, {b})"
+                else:
+                    core = f"({a}) {e.op} ({b})"
+            elif isinstance(e, ops.Unary):
+                x = operand(e.inputs[0])
+                core = {
+                    "sqrt": f"sqrt({x})",
+                    "rsqrt": f"1.0 / sqrt({x})",
+                    "relu": f"repro_max({x}, 0.0)",
+                    "abs": f"fabs({x})",
+                }[e.op]
+            else:  # Cast / Update: the value, rounded to the out dtype
+                core = operand(e.inputs[0])
+            var = f"e{j}"
+            dt = _cdt(e.dtype)
+            body.append(f"double {var} = {_round(dt, core)};")
+            var_of[id(e)] = var
+            if self._escapes(e, run_ids):
+                out = _Array(
+                    f"o{len(arrays)}", dt, f"V[{e.name!r}]", n
+                )
+                arrays.append(out)
+                stores.append((e, out))
+                body.append(_store(out.cvar, out.dt, "i", var))
+
+        fn = self._fresh_fn(f"s_{run[0].name}")
+        lines = [f"void {fn}(char** A, double* S) {{"]
+        for k, a in enumerate(arrays):
+            const = "" if any(a is o for _, o in stores) else "const "
+            lines.append(
+                f"    {const}{_CTYPE[a.dt]}* {a.cvar} = "
+                f"({const}{_CTYPE[a.dt]}*)A[{k}];"
+            )
+        if not scalars:
+            lines.append("    (void)S;")
+        lines.append(f"    for (long long i = 0; i < {n}LL; ++i) {{")
+        lines.extend(f"        {ln}" for ln in body)
+        lines.append("    }")
+        lines.append("}")
+        self.functions.append("\n".join(lines) + "\n")
+
+        names = ", ".join(e.name for e in run)
+        em.emit(f"# compiled native segment ({fn}): {names}")
+        for e, out in stores:
+            shape = e.per_rank_shape()
+            em.emit(
+                f"V[{e.name!r}] = np.empty({shape!r}, "
+                f"dtype=np.{e.dtype.to_numpy().name})"
+            )
+        refs = ", ".join(a.py_ref for a in arrays)
+        sc = ", ".join(scalars)
+        em.emit(
+            f"_K.call({fn!r}, ({refs},), ({sc + ',' if sc else ''}))"
+        )
+        for e, _ in stores:
+            if isinstance(e, ops.Update):
+                gen._emit_update_store(em, e, f"V[{e.name!r}]")
+
+    # -- GEMM ------------------------------------------------------------
+
+    def emit_gemm(self, gen, em, e: Expr, out_var: Optional[str] = None
+                  ) -> bool:
+        """BLAS-dispatch a MatMul; False when it must stay in Python.
+
+        ``(…, M, K) @ (K, N)`` flattens the leading dims into one
+        row-major GEMM. fp16 operands are upconverted to fp32 on the
+        Python side (the GEMM itself accumulates in fp32, like numpy's
+        half inner loop — the accumulation *order* differs, which is
+        exactly the documented BLAS tolerance), fp64 runs in dgemm.
+        """
+        if not isinstance(e, ops.MatMul):
+            return False
+        a, b = e.inputs
+        if isinstance(a, Const) or isinstance(b, Const):
+            return False
+        if _cdt(a.dtype) is None or _cdt(b.dtype) is None:
+            return False
+        if _cdt(e.dtype) is None:
+            return False
+        ashape = a.per_rank_shape()
+        bshape = b.per_rank_shape()
+        oshape = e.per_rank_shape()
+        if len(bshape) != 2 or len(ashape) < 2:
+            return False
+        if ashape[-1] != bshape[0] or oshape[-1] != bshape[1]:
+            return False
+        if oshape[:-1] != ashape[:-1]:
+            return False
+        M = _prod(ashape[:-1])
+        K = ashape[-1]
+        N = bshape[1]
+        edt = e.dtype.to_numpy().name
+        # compute dtype: f64 iff the result is f64, else f32
+        ct = "float64" if edt == "float64" else "float32"
+        fn = self._fresh_fn(f"g_{e.name}")
+        ctyp = _CTYPE[ct]
+        gemm = "repro_gemm_f64" if ct == "float64" else "repro_gemm_f32"
+        self.functions.append(
+            f"void {fn}(char** A, double* S) {{\n"
+            f"    (void)S;\n"
+            f"    {gemm}((const {ctyp}*)A[0], (const {ctyp}*)A[1], "
+            f"({ctyp}*)A[2], {M}LL, {N}LL, {K}LL);\n"
+            f"}}\n"
+        )
+        np_ct = f"np.{ct}"
+        em.emit(f"# native GEMM ({fn}): BLAS or tiled-C fallback")
+        for ref, src in (("_ga", gen._ref(a)), ("_gb", gen._ref(b))):
+            em.emit(f"{ref} = {src}")
+            em.emit(f"if {ref}.dtype != {np_ct}:")
+            em.indent += 1
+            em.emit(f"{ref} = {ref}.astype({np_ct})")
+            em.indent -= 1
+        em.emit(f"_go = np.empty({tuple(oshape)!r}, dtype={np_ct})")
+        em.emit(f"_K.call({fn!r}, (_ga, _gb, _go))")
+        out = out_var if out_var is not None else f"V[{e.name!r}]"
+        if ct == edt:
+            em.emit(f"{out} = _go")
+        else:
+            em.emit(f"{out} = _go.astype(np.{edt})")
+        return True

@@ -42,6 +42,7 @@ __all__ = [
     "KIND_KERNEL",
     "KIND_STALL",
     "KIND_FAULT",
+    "KIND_COMPILE",
     "KIND_NAMES",
     "merge_rank_traces",
 ]
@@ -55,6 +56,9 @@ KIND_KERNEL = 4
 #: injected/observed fault (stall_publish, drop_chunk, die, stream-leak)
 KIND_STALL = 5
 KIND_FAULT = 6
+#: native kernel-cache outcome (``compile:<key>`` / ``hit:<key>`` /
+#: ``recompile:<key>``); ``dur`` carries the elapsed nanoseconds
+KIND_COMPILE = 7
 
 KIND_NAMES = {
     KIND_PUBLISH: "publish",
@@ -63,10 +67,11 @@ KIND_NAMES = {
     KIND_KERNEL: "kernel",
     KIND_STALL: "stall",
     KIND_FAULT: "fault",
+    KIND_COMPILE: "compile",
 }
 
 #: kinds merged as point markers rather than spans
-_INSTANT_KINDS = (KIND_STALL, KIND_FAULT)
+_INSTANT_KINDS = (KIND_STALL, KIND_FAULT, KIND_COMPILE)
 
 _MAGIC = 0x54524143  # "TRAC"
 
@@ -275,6 +280,22 @@ def merge_rank_traces(
             if nbytes:
                 args["bytes"] = nbytes
             if kind in _INSTANT_KINDS:
+                if kind == KIND_COMPILE:
+                    # cache outcome next to the kernels it delayed; the
+                    # record's dur carries the compile/load seconds
+                    args["seconds"] = dur
+                    events.append(
+                        InstantEvent(name, cat, ts, pid, "kernels", args)
+                    )
+                    if metrics is not None:
+                        if name.startswith(("compile:", "recompile:")):
+                            metrics.inc(f"spmd.{pid}.kernel_compiles")
+                            metrics.inc(
+                                f"spmd.{pid}.compile_seconds", dur
+                            )
+                        elif name.startswith("hit:"):
+                            metrics.inc(f"spmd.{pid}.kernel_cache_hits")
+                    continue
                 events.append(
                     InstantEvent(name, cat, ts, pid, "faults", args)
                 )

@@ -200,6 +200,7 @@ class Executor:
         tracer=None,
         elastic: bool = False,
         relower=None,
+        codegen_target: str = "spmd",
     ) -> ProgramResult:
         """Run a schedule as one real OS process per rank.
 
@@ -235,6 +236,14 @@ class Executor:
         file-backed ring buffer; the rings are merged into the tracer's
         event list after the run — *including* when a rank faults, so
         the timeline of a failed run is still harvested.
+
+        ``codegen_target="native"`` executes the same schedule with the
+        compute segments compiled to C through the content-addressed
+        kernel cache (:mod:`repro.core.codegen.native`): elementwise
+        chains fuse into single compiled loops, GEMMs dispatch to BLAS.
+        Elementwise-only programs remain bit-identical to
+        :meth:`run_lowered`; GEMM-bearing programs carry the documented
+        fp tolerance (BLAS reassociates the accumulation).
         """
         from repro.runtime.spmd import SpmdWorkerError
 
@@ -244,7 +253,7 @@ class Executor:
                 allow_downcast=allow_downcast, protocol=protocol,
                 wire_s_per_mb=wire_s_per_mb, timeout=timeout,
                 soft_timeout=soft_timeout, fault_plan=fault_plan,
-                tracer=tracer,
+                tracer=tracer, codegen_target=codegen_target,
             )
         except SpmdWorkerError as exc:
             if not elastic or not exc.dead_ranks:
@@ -254,6 +263,7 @@ class Executor:
                 allow_downcast=allow_downcast, protocol=protocol,
                 wire_s_per_mb=wire_s_per_mb, timeout=timeout,
                 soft_timeout=soft_timeout, tracer=tracer,
+                codegen_target=codegen_target,
             )
 
     def _run_spmd_once(
@@ -269,11 +279,14 @@ class Executor:
         soft_timeout: Optional[float] = None,
         fault_plan=None,
         tracer=None,
+        codegen_target: str = "spmd",
     ) -> ProgramResult:
         """One generate-and-launch attempt (no recovery)."""
         from repro.core.codegen import CodeGenerator
 
-        generated = CodeGenerator(protocol, target="spmd").generate(scheduled)
+        generated = CodeGenerator(
+            protocol, target=codegen_target
+        ).generate(scheduled)
         if tracer is None:
             return generated.run(
                 inputs,
@@ -324,6 +337,7 @@ class Executor:
         timeout: Optional[float],
         soft_timeout: Optional[float],
         tracer,
+        codegen_target: str = "spmd",
     ) -> ProgramResult:
         """Reform the group over the survivors and re-execute.
 
@@ -404,6 +418,7 @@ class Executor:
                     allow_downcast=allow_downcast, protocol=protocol,
                     wire_s_per_mb=wire_s_per_mb, timeout=timeout,
                     soft_timeout=soft_timeout, tracer=tracer,
+                    codegen_target=codegen_target,
                 )
             except CoCoNetError as err:
                 last_error = err

@@ -87,6 +87,7 @@ from repro.core.process_group import ProcessGroup
 from repro.core.tensor import Tensor
 from repro.errors import ExecutionError
 from repro.observe.ring import (
+    KIND_COMPILE,
     KIND_FAULT,
     KIND_KERNEL,
     KIND_PUBLISH,
@@ -261,7 +262,8 @@ def build_layout(program) -> SpmdLayout:
 
 
 def scaled_default_timeout(
-    layout: SpmdLayout, wire_s_per_mb: float
+    layout: SpmdLayout, wire_s_per_mb: float,
+    compile_allowance_s: float = 0.0,
 ) -> float:
     """The default per-wait deadline, scaled to the simulated wire.
 
@@ -271,12 +273,19 @@ def scaled_default_timeout(
     the flat :data:`DEFAULT_TIMEOUT` gains ``4 x wire x largest-site x
     nranks`` of headroom — slow simulated wires must stretch waits, not
     fail them.
+
+    ``compile_allowance_s`` is the native target's one-time
+    cold-kernel-cache headroom: on the first run each rank compiles (or
+    waits behind a peer's ``flock`` for) the module's C kernels between
+    the barrier and its first rendezvous, which the flat deadline would
+    misread as a dead peer. Warm-cache runs pass 0.
     """
+    base = DEFAULT_TIMEOUT + max(0.0, compile_allowance_s)
     if wire_s_per_mb <= 0.0 or not layout.sites:
-        return DEFAULT_TIMEOUT
+        return base
     largest = max(slot for (_, slot, _) in layout.sites.values())
     scale = 4.0 * wire_s_per_mb * (largest / (1 << 20)) * layout.nranks
-    return DEFAULT_TIMEOUT + scale
+    return base + scale
 
 
 class _ChunkToken:
@@ -481,6 +490,26 @@ class SpmdCommunicator:
         context (attached to worker errors) and, when tracing, records
         the call as a kernel span."""
         return _KernelSpan(self, name)
+
+    def record_compile(
+        self, name: str, seconds: float, status: str
+    ) -> None:
+        """Record a native kernel-cache outcome as an instant event.
+
+        Called by :func:`repro.core.codegen.native.load_kernels` when
+        the communicator is passed as its observer; Perfetto timelines
+        then show cold-cache compile stalls (``compile:<key>``) next to
+        the kernels they delayed. ``status`` is ``"compile"``, ``"hit"``
+        or ``"recompile"``; ``dur`` carries the elapsed time so the
+        merged metrics can aggregate per-rank compile seconds.
+        """
+        if self._ring is not None:
+            self._ring.append(
+                KIND_COMPILE,
+                time.monotonic_ns(),
+                int(seconds * 1e9),
+                name=f"{status}:{name}",
+            )
 
     def error_context(self) -> Dict[str, object]:
         """The structured where-was-I snapshot for failure reports."""
@@ -1181,11 +1210,16 @@ def _module_source(spec) -> str:
 
     ``spec`` is either raw generated source (a plain string — the
     historical path, still used when a caller hands ``launch`` an
-    explicit module) or ``("artifact", text, protocol)``: a serialized
-    :mod:`repro.core.artifact` document from which this rank derives
-    its module by deserializing the portable IR and running the code
-    generator locally — the worker never needs the originating Python
-    objects, only the artifact text.
+    explicit module) or ``("artifact", text, protocol[, target])``: a
+    serialized :mod:`repro.core.artifact` document from which this rank
+    derives its module by deserializing the portable IR and running the
+    code generator locally — the worker never needs the originating
+    Python objects, only the artifact text. The optional fourth element
+    selects the codegen target (``"spmd"`` when absent — specs shipped
+    by older callers stay valid); ``"native"`` workers rebuild the same
+    C source as the parent and resolve it through the shared
+    content-addressed kernel cache, so at most one rank per machine
+    actually compiles.
     """
     if isinstance(spec, str):
         return spec
@@ -1194,8 +1228,11 @@ def _module_source(spec) -> str:
         from repro.core import artifact as artifact_mod
         from repro.core.codegen import CodeGenerator
 
+        target = spec[3] if len(spec) > 3 else "spmd"
         art = artifact_mod.loads(spec[1])
-        gen = CodeGenerator(spec[2], target="spmd").generate(art.lowered())
+        # hand the artifact itself to generate(): the native target
+        # memoizes rendered modules by the artifact's content hash
+        gen = CodeGenerator(spec[2], target=target).generate(art)
         return gen.source
     raise ExecutionError(f"unknown SPMD module spec kind {kind!r}")
 
@@ -1226,6 +1263,12 @@ def _rank_main(
             compile(_module_source(source), f"<spmd rank {rank}>", "exec"),
             namespace,
         )
+        ensure = namespace.get("_ensure_native")
+        if ensure is not None:
+            # compile/load native kernels before the timing barrier so
+            # the one-time cc invocation and dlopen+BLAS bind count as
+            # startup (like spawn), not as execution time
+            ensure(comm)
         # synchronize before timing so spawn stagger (rank 0 idling in
         # its first collective until the last process is up) does not
         # count as execution time
@@ -1309,6 +1352,8 @@ def launch(
     trace_capacity: int = 32768,
     artifact_text: Optional[str] = None,
     protocol: str = "Simple",
+    codegen_target: str = "spmd",
+    compile_allowance_s: float = 0.0,
 ):
     """Run a generated SPMD module as one process per rank.
 
@@ -1351,11 +1396,16 @@ def launch(
     sufficient to launch a full SPMD run. Without ``artifact_text``,
     ``source`` must be the generated module source (the historical
     path).
+
+    ``codegen_target`` selects which module flavour artifact-carrying
+    workers derive (``"spmd"`` or ``"native"``);
+    ``compile_allowance_s`` widens the rendezvous deadline once for a
+    cold native kernel cache (see :func:`scaled_default_timeout`).
     """
     from repro.runtime.executor import ProgramResult
 
     if artifact_text is not None:
-        module_spec = ("artifact", artifact_text, protocol)
+        module_spec = ("artifact", artifact_text, protocol, codegen_target)
         if program is None:
             from repro.core import artifact as artifact_mod
 
@@ -1377,8 +1427,9 @@ def launch(
     shards = _place_per_rank(program, inputs, allow_downcast)
     layout = build_layout(program)
     timeout = (
-        scaled_default_timeout(layout, wire_s_per_mb)
-        if timeout is None else float(timeout)
+        scaled_default_timeout(layout, wire_s_per_mb, compile_allowance_s)
+        if timeout is None
+        else float(timeout) + max(0.0, compile_allowance_s)
     )
 
     trace_paths: List[Optional[str]] = [None] * world_size

@@ -1,0 +1,287 @@
+"""Tuning-as-a-service: cold vs warm sustained request rate.
+
+Drives a Zipf-distributed (workload, shape) request mix through the
+:class:`~repro.serve.service.TuningService` — the traffic shape of a
+production tuning service, where a few popular shapes dominate and a
+long tail trickles — and measures what the persistent schedule cache
+(:mod:`repro.serve.cache`) buys:
+
+* **cold** — every unique shape submitted against an empty cache: each
+  one runs the full autotuner search on the worker pool. This is the
+  request rate *without* the serving layer.
+* **warm** — the Zipf replay over the now-tuned universe: every
+  request is a memory hit answered on the event loop. The acceptance
+  floor is **warm >= 100x the cold-tune request rate**.
+* **cross-process warm** — a *fresh* service over the same cache
+  directory: first touches hit disk records, the rest memory; zero
+  tuner invocations proves persistence across processes.
+* **coalescing** — a concurrent burst of identical misses on an empty
+  cache must collapse into one tuning task per unique shape (tuner
+  invocations == uniques << submitted requests).
+* **fidelity** — a served schedule's execution digest must equal a
+  freshly tuned schedule's digest (same seeded inputs, bit for bit).
+
+Emits ``BENCH_serve.json`` at the repo root, gated in CI by
+``benchmarks/baselines/BENCH_serve.json``::
+
+    PYTHONPATH=src:. python benchmarks/bench_serve.py           # full
+    PYTHONPATH=src:. python benchmarks/bench_serve.py --smoke   # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import tempfile
+import time
+from typing import Dict, List
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(__file__))
+from _common import save_report, table  # noqa: E402
+
+from repro.cli import _digest, _seeded_inputs  # noqa: E402
+from repro.core.autotuner import Autotuner  # noqa: E402
+from repro.runtime.executor import Executor  # noqa: E402
+from repro.serve import (  # noqa: E402
+    ScheduleCache,
+    TuneRequest,
+    TuningService,
+)
+
+_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(_ROOT, "BENCH_serve.json")
+
+ZIPF_S = 1.1
+MAX_DEPTH = 2
+MAX_WORKERS = 2
+
+
+def request_universe(smoke: bool) -> List[TuneRequest]:
+    """The unique shapes behind the Zipf mix, most popular first."""
+    adam_sizes = [2 ** k for k in range(10, 16 if smoke else 20)]
+    reqs = [
+        TuneRequest.make("adam", num_elements=n, world_size=4)
+        for n in adam_sizes
+    ]
+    reqs += [
+        TuneRequest.make("lamb", num_elements=2 ** k, world_size=4)
+        for k in (10, 12)
+    ]
+    if not smoke:
+        reqs += [
+            TuneRequest.make(
+                "moe", capacity=3, model_dim=6, ffn_dim=8, world_size=4
+            ),
+            TuneRequest.make(
+                "attention", batch=4, seq=8, hidden=16, world_size=4
+            ),
+        ]
+    return reqs
+
+
+def zipf_mix(
+    universe: List[TuneRequest], n: int, rng: np.random.RandomState
+) -> List[TuneRequest]:
+    """``n`` draws over the universe with P(rank i) ∝ 1/i^ZIPF_S."""
+    ranks = np.arange(1, len(universe) + 1, dtype=np.float64)
+    p = ranks ** -ZIPF_S
+    p /= p.sum()
+    return [universe[i] for i in rng.choice(len(universe), size=n, p=p)]
+
+
+async def timed_submit(svc: TuningService, requests) -> Dict:
+    t0 = time.perf_counter()
+    results = await svc.submit_many(requests)
+    elapsed = time.perf_counter() - t0
+    by_source: Dict[str, int] = {}
+    for r in results:
+        by_source[r.source] = by_source.get(r.source, 0) + 1
+    return {
+        "requests": len(results),
+        "elapsed_s": elapsed,
+        "requests_per_sec": len(results) / elapsed,
+        "by_source": by_source,
+    }
+
+
+async def phase_cold_and_warm(universe, replay, cache_dir) -> Dict:
+    async with TuningService(
+        ScheduleCache(cache_dir),
+        max_workers=MAX_WORKERS, max_depth=MAX_DEPTH,
+    ) as svc:
+        cold = await timed_submit(svc, universe)
+        warm = await timed_submit(svc, replay)
+        cold["tunes"] = svc.metrics.get("serve.tunes")
+    # a fresh service over the same directory: the persistence check
+    async with TuningService(
+        ScheduleCache(cache_dir),
+        max_workers=MAX_WORKERS, max_depth=MAX_DEPTH,
+    ) as svc2:
+        cross = await timed_submit(svc2, replay[: min(len(replay), 500)])
+        cross["tunes"] = svc2.metrics.get("serve.tunes")
+    return {"cold": cold, "warm": warm, "cross_process": cross}
+
+
+async def phase_coalescing(universe, cache_dir) -> Dict:
+    """A burst of duplicate misses must fold into one tune per shape."""
+    uniques = universe[:3]
+    copies = 8
+    burst: List[TuneRequest] = [r for r in uniques for _ in range(copies)]
+    async with TuningService(
+        ScheduleCache(cache_dir),
+        max_workers=MAX_WORKERS, max_depth=MAX_DEPTH,
+    ) as svc:
+        stats = await timed_submit(svc, burst)
+        tunes = svc.metrics.get("serve.tunes")
+        coalesced = svc.metrics.get("serve.coalesced")
+        misses = svc.metrics.get("serve.misses")
+    return {
+        "unique_shapes": len(uniques),
+        "submitted": len(burst),
+        "miss_requests": misses,
+        "tuner_invocations": tunes,
+        "coalesced_requests": coalesced,
+        "by_source": stats["by_source"],
+        "ok": tunes == len(uniques) and tunes < misses,
+    }
+
+
+async def phase_digest(cache_dir) -> Dict:
+    """Served artifact ≡ freshly tuned artifact, execution digest."""
+    req = TuneRequest.make("adam", num_elements=1024, world_size=4)
+    async with TuningService(
+        ScheduleCache(cache_dir),
+        max_workers=MAX_WORKERS, max_depth=MAX_DEPTH,
+    ) as svc:
+        served = await svc.submit(req)      # tunes
+        again = await svc.submit(req)       # memory hit
+    fresh = Autotuner(req.cluster(), max_depth=MAX_DEPTH).tune(
+        req.build_program()
+    )
+    ex = Executor()
+
+    def digest_of(art_or_sched, program) -> str:
+        inputs = _seeded_inputs(program, seed=0)
+        return _digest(ex.run_lowered(art_or_sched, inputs,
+                                      allow_downcast=True))
+
+    served_digest = digest_of(again.artifact, again.artifact.program)
+    fresh_digest = digest_of(fresh.best.schedule, req.build_program())
+    return {
+        "request": req.describe(),
+        "served_schedule": again.schedule_name,
+        "fresh_schedule": fresh.best.name,
+        "served_digest": served_digest,
+        "fresh_digest": fresh_digest,
+        "match": served_digest == fresh_digest,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="smaller universe and replay (CI); same acceptance floors",
+    )
+    parser.add_argument(
+        "--replay", type=int, default=None,
+        help="warm replay length (default 2000 smoke / 20000 full)",
+    )
+    args = parser.parse_args()
+    replay_n = args.replay or (2000 if args.smoke else 20000)
+    rng = np.random.RandomState(0x21BF)
+
+    universe = request_universe(args.smoke)
+    replay = zipf_mix(universe, replay_n, rng)
+
+    with tempfile.TemporaryDirectory() as d:
+        rates = asyncio.run(
+            phase_cold_and_warm(universe, replay, os.path.join(d, "main"))
+        )
+        coalescing = asyncio.run(
+            phase_coalescing(universe, os.path.join(d, "burst"))
+        )
+        digest = asyncio.run(phase_digest(os.path.join(d, "digest")))
+
+    cold_rate = rates["cold"]["requests_per_sec"]
+    warm_rate = rates["warm"]["requests_per_sec"]
+    speedup = warm_rate / cold_rate
+    report = {
+        "benchmark": "serve",
+        "mode": "smoke" if args.smoke else "full",
+        "zipf": {
+            "s": ZIPF_S,
+            "universe": len(universe),
+            "replay_requests": replay_n,
+        },
+        "max_depth": MAX_DEPTH,
+        "max_workers": MAX_WORKERS,
+        "cold": rates["cold"],
+        "warm": rates["warm"],
+        "cross_process": rates["cross_process"],
+        "coalescing": coalescing,
+        "digest": digest,
+        "acceptance": {
+            "warm_vs_cold_speedup": speedup,
+            "coalescing_ok": coalescing["ok"],
+            "digest_match": digest["match"],
+            "cross_process_tunes": rates["cross_process"]["tunes"],
+        },
+    }
+
+    rows = [
+        ["cold (tune-all)", rates["cold"]["requests"],
+         f"{rates['cold']['elapsed_s']:.2f} s", f"{cold_rate:.1f}"],
+        ["warm (Zipf replay)", rates["warm"]["requests"],
+         f"{rates['warm']['elapsed_s']:.2f} s", f"{warm_rate:.0f}"],
+        ["warm (new process)", rates["cross_process"]["requests"],
+         f"{rates['cross_process']['elapsed_s']:.2f} s",
+         f"{rates['cross_process']['requests_per_sec']:.0f}"],
+    ]
+    lines = [
+        "Tuning as a service: cold vs warm request rate "
+        f"(Zipf s={ZIPF_S}, {len(universe)} unique shapes, "
+        f"{replay_n}-request replay)",
+        "",
+    ]
+    lines += table(["phase", "requests", "elapsed", "req/s"], rows)
+    lines += [
+        "",
+        f"warm vs cold speedup: {speedup:.0f}x (floor 100x)",
+        f"coalescing: {coalescing['submitted']} submitted, "
+        f"{coalescing['miss_requests']:.0f} misses -> "
+        f"{coalescing['tuner_invocations']:.0f} tuner invocations "
+        f"({coalescing['coalesced_requests']:.0f} coalesced)",
+        f"served ≡ fresh digest: {digest['match']}",
+    ]
+    save_report("serve", lines)
+
+    with open(JSON_PATH, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(f"\nwrote {JSON_PATH}")
+
+    assert speedup >= 100, (
+        f"warm replay must serve >= 100x the cold-tune rate, "
+        f"got {speedup:.1f}x"
+    )
+    assert coalescing["ok"], (
+        "identical in-flight requests were not coalesced: "
+        f"{coalescing['tuner_invocations']:.0f} tuner invocations for "
+        f"{coalescing['unique_shapes']} unique shapes"
+    )
+    assert digest["match"], (
+        "served schedule's execution digest differs from the freshly "
+        "tuned schedule's"
+    )
+    assert rates["cross_process"]["tunes"] == 0, (
+        "a fresh service over a warm cache directory re-tuned"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -57,6 +57,20 @@ class Cluster:
     def spans_nodes(self) -> bool:
         return self.num_nodes > 1
 
+    def signature(self) -> str:
+        """Canonical topology identity, stable across processes.
+
+        A tuned schedule is only valid for the topology it was tuned on
+        (node width decides hierarchical splits, link speeds decide the
+        protocol/channel sweep), so the persistent schedule cache
+        (:mod:`repro.serve`) keys every record by this string alongside
+        the program's structural hash.
+
+        >>> Cluster(2).signature()
+        'DGX-2x16/nodes2'
+        """
+        return f"{self.node.name}x{self.node.gpus_per_node}/nodes{self.num_nodes}"
+
     def describe(self) -> str:
         n = self.node
         return (

@@ -38,6 +38,19 @@ Format::
 Forward compatibility: each schema version registers a loader in
 ``_LOADERS``; old artifacts keep loading as the schema evolves (the
 golden files under ``tests/golden/`` pin that promise).
+
+Round trip in four lines — serialize a tuned schedule, reconstruct it
+in (conceptually) another process, and the identity hashes agree:
+
+>>> from repro.core import artifact
+>>> from repro.workloads.adam import AdamWorkload
+>>> sched = AdamWorkload.build(64, 4).schedules()['fuse(RS-Adam-AG)']
+>>> a = artifact.as_artifact(sched)
+>>> b = artifact.loads(a.dumps())     # verifies content_hash on load
+>>> b.content_hash == a.content_hash
+True
+>>> b.structural_hash == artifact.structural_hash(sched.lowered())
+True
 """
 
 from __future__ import annotations

@@ -73,6 +73,14 @@ class Candidate:
     per-resource busy time already reached the best time seen when it
     was evaluated, so the full discrete-event run was skipped — it
     cannot be the best schedule.
+
+    ``schedule`` is normally a live :class:`Schedule`; when a tune was
+    answered from a persistent schedule cache it is the stored
+    :class:`~repro.core.artifact.Artifact` instead. Both expose
+    ``lowered()``, which is the whole surface the executor, the code
+    generator and the cost model consume — move scripts are *not*
+    replayed on a hit, because generated value names carry a
+    process-global counter and would not resolve in a fresh process.
     """
 
     name: str
@@ -90,12 +98,19 @@ class TuneResult:
     registry — search counters (``tuner.candidates``, ``tuner.pruned``,
     ``tuner.dedup_hits``, ``tuner.transform_errors``) plus the cost
     model's memo statistics (``cost_model.*``).
+
+    ``cached`` is True when the whole search was skipped because a
+    persistent schedule cache already held the tuned schedule for this
+    ``(structural_hash, topology)`` pair; ``cache_key`` carries that
+    pair whenever a cache was consulted.
     """
 
     best: Candidate
     candidates: List[Candidate]
     elapsed_seconds: float
     metrics: Optional[object] = None
+    cached: bool = False
+    cache_key: Optional[Tuple[str, str]] = None
 
     def report(self) -> str:
         lines = [
@@ -135,12 +150,18 @@ class Autotuner:
         prune: bool = True,
         baseline: bool = False,
         metrics=None,
+        schedule_cache=None,
     ) -> None:
         self.cluster = cluster
         self.baseline = baseline
         #: optional repro.observe.MetricsRegistry (duck-typed: anything
         #: with inc/set) receiving search and cost-model counters
         self.metrics = metrics
+        #: optional repro.serve.ScheduleCache (duck-typed: get/put with
+        #: the (structural_hash, topology) pair) consulted before the
+        #: search and written through after it — the persistence hook
+        #: that makes tuning a reusable, cross-process service
+        self.schedule_cache = schedule_cache
         self.prune = prune and not baseline
         if cost_model_factory is None:
             if baseline:
@@ -309,8 +330,49 @@ class Autotuner:
     # -- the search ---------------------------------------------------------
 
     def tune(self, program: Program) -> TuneResult:
-        """Explore all schedules of ``program``; return the fastest."""
+        """Explore all schedules of ``program``; return the fastest.
+
+        With a ``schedule_cache``, the search is consulted-through: the
+        untransformed program's structural hash plus the cluster's
+        topology signature key a lookup first (a hit skips the whole
+        BFS and returns the stored tuned schedule as an artifact-backed
+        candidate), and a miss writes the winning schedule back after
+        the search — so the next process submitting the same program
+        shape on the same topology never tunes again.
+
+        >>> from repro.cluster.topology import Cluster
+        >>> from repro.workloads.adam import AdamWorkload
+        >>> result = Autotuner(Cluster(1), max_depth=2).tune(
+        ...     AdamWorkload.build(64, 4).program)
+        >>> result.best.time <= min(c.time for c in result.candidates)
+        True
+        >>> result.best.time < result.candidates[0].time  # beats default
+        True
+        """
         t0 = _time.perf_counter()
+        cache = self.schedule_cache
+        cache_key: Optional[Tuple[str, str]] = None
+        if cache is not None:
+            cache_key = (
+                self._plan_signature(Schedule(program)),
+                self.cluster.signature(),
+            )
+            rec = cache.get(*cache_key)
+            if rec is not None:
+                if self.metrics is not None:
+                    self.metrics.inc("tuner.cache_hits")
+                best = Candidate(
+                    rec.schedule_name,
+                    tuple(tuple(m) for m in rec.moves),
+                    rec.artifact,
+                    rec.predicted_time,
+                )
+                return TuneResult(
+                    best, [best], _time.perf_counter() - t0,
+                    metrics=self.metrics, cached=True, cache_key=cache_key,
+                )
+            if self.metrics is not None:
+                self.metrics.inc("tuner.cache_misses")
         candidates = self._search(program)
         if not candidates:
             raise AutotunerError("no valid schedule found")
@@ -319,7 +381,28 @@ class Autotuner:
             key=lambda c: c.time,
         )
         elapsed = _time.perf_counter() - t0
-        return TuneResult(best, candidates, elapsed, metrics=self.metrics)
+        if cache is not None:
+            from repro.core.artifact import Artifact
+            from repro.serve.cache import CachedSchedule
+
+            cache.put(
+                CachedSchedule(
+                    structural_hash=cache_key[0],
+                    topology=cache_key[1],
+                    schedule_name=best.name,
+                    moves=tuple(tuple(m) for m in best.moves),
+                    predicted_time=best.time,
+                    tune_seconds=elapsed,
+                    candidates_explored=len(candidates),
+                    artifact=Artifact.from_lowered(
+                        best.schedule.lowered(cluster=self.cluster)
+                    ),
+                )
+            )
+        return TuneResult(
+            best, candidates, elapsed,
+            metrics=self.metrics, cache_key=cache_key,
+        )
 
     def _search(self, program: Program) -> List[Candidate]:
         """BFS over moves; candidates deduplicated by plan signature.

@@ -16,7 +16,28 @@ __all__ = ["MetricsRegistry"]
 
 
 class MetricsRegistry:
-    """Named counters and gauges."""
+    """Named counters and gauges.
+
+    >>> m = MetricsRegistry()
+    >>> m.inc("tuner.candidates")
+    1
+    >>> m.inc("tuner.candidates", 4)
+    5
+    >>> m.set("cost_model.memo_hit_rate", 0.75)
+    >>> m.get("cost_model.memo_hit_rate")
+    0.75
+    >>> m.get("never.touched")
+    0
+    >>> sorted(m.snapshot())
+    ['cost_model.memo_hit_rate', 'tuner.candidates']
+    >>> other = MetricsRegistry()
+    >>> _ = other.inc("tuner.candidates", 10)
+    >>> m.merge(other)
+    >>> m.get("tuner.candidates")
+    15
+    >>> "tuner.candidates" in m, len(m)
+    (True, 2)
+    """
 
     def __init__(self) -> None:
         self._values: Dict[str, float] = {}

@@ -67,6 +67,27 @@ promptly instead of deadlocking the rendezvous. The parent tears down
 in a ``finally``: joins (then terminates) every worker and closes and
 unlinks both shared-memory segments, so a failing kernel can never leak
 ``/dev/shm`` segments.
+
+Usage
+-----
+
+The high-level entry point is ``Executor.run_spmd`` (backend selection,
+artifact shipping, elastic recovery); ``launch`` is the raw engine
+underneath. Not a doctest — it spawns one real OS process per rank:
+
+.. code-block:: python
+
+    from repro.cli import _seeded_inputs
+    from repro.runtime.executor import Executor
+    from repro.workloads.adam import AdamWorkload
+
+    sched = AdamWorkload.build(1024, 4).schedules()['fuse(RS-Adam-AG)']
+    inputs = _seeded_inputs(sched.program, seed=0)
+    out = Executor().run_spmd(sched, inputs, allow_downcast=True)
+    # bit-identical to run_lowered(sched, inputs) — the acceptance
+    # property tests/test_spmd.py holds the backend to; pass
+    # codegen_target="native" for compiled C kernels, elastic=True
+    # plus a FaultPlan for recovery from dead ranks.
 """
 
 from __future__ import annotations

@@ -1,0 +1,215 @@
+"""``repro-serve``: the tuning service from the shell.
+
+Four subcommands over the persistent schedule cache
+(:mod:`repro.serve`):
+
+.. code-block:: console
+
+   $ repro-serve tune --workload adam --set num_elements=1048576 \\
+         --set world_size=16                  # miss: tunes, caches
+   $ repro-serve tune --workload adam --set num_elements=1048576 \\
+         --set world_size=16                  # hit: served from disk
+   $ repro-serve replay requests.json        # drive a request mix
+   $ repro-serve stats                       # cache size + counters
+   $ repro-serve clear                       # drop every record
+
+Installed via ``[project.scripts]``; in a source checkout use
+``PYTHONPATH=src python -m repro.serve.cli``. ``replay`` reads a JSON
+list of request specs (``{"workload": ..., "params": {...}, "dtype":
+..., "nodes": ...}``) and submits them all concurrently through one
+:class:`~repro.serve.service.TuningService` — the shape
+``benchmarks/bench_serve.py`` uses at scale.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.errors import CoCoNetError
+
+
+def _parse_params(pairs) -> dict:
+    params = {}
+    for pair in pairs or ():
+        if "=" not in pair:
+            raise CoCoNetError(
+                f"--set takes name=value pairs, got {pair!r}"
+            )
+        name, value = pair.split("=", 1)
+        try:
+            params[name.strip()] = int(value)
+        except ValueError:
+            raise CoCoNetError(
+                f"--set values must be integers, got {pair!r}"
+            ) from None
+    return params
+
+
+def _make_service(args):
+    from repro.serve import ScheduleCache, TuningService
+
+    cache = ScheduleCache(args.cache)
+    return TuningService(
+        cache, max_workers=args.workers, max_depth=args.max_depth
+    )
+
+
+def _print_result(res) -> None:
+    print(f"request:    {res.request.describe()}")
+    print(f"key:        {res.structural_hash} @ {res.topology}")
+    print(f"source:     {res.source}")
+    print(f"schedule:   {res.schedule_name}")
+    print(f"predicted:  {res.predicted_time * 1e6:.1f} us")
+    print(f"latency:    {res.latency_seconds * 1e3:.2f} ms")
+
+
+def _cmd_tune(args) -> int:
+    from repro.serve import TuneRequest
+
+    request = TuneRequest.make(
+        args.workload, dtype=args.dtype, nodes=args.nodes,
+        **_parse_params(args.set),
+    )
+
+    async def go():
+        async with _make_service(args) as svc:
+            return await svc.submit(request)
+
+    res = asyncio.run(go())
+    _print_result(res)
+    if args.save:
+        res.artifact.save(args.save)
+        print(f"artifact:   saved to {args.save}")
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.serve import TuneRequest
+
+    with open(args.requests) as f:
+        specs = json.load(f)
+    if not isinstance(specs, list):
+        raise CoCoNetError(
+            f"{args.requests} must hold a JSON list of request specs"
+        )
+    requests = [TuneRequest.from_spec(s) for s in specs]
+
+    async def go():
+        import time
+
+        async with _make_service(args) as svc:
+            t0 = time.perf_counter()
+            results = await svc.submit_many(requests)
+            elapsed = time.perf_counter() - t0
+            return results, elapsed, svc.stats()
+
+    results, elapsed, stats = asyncio.run(go())
+    by_source: dict = {}
+    for r in results:
+        by_source[r.source] = by_source.get(r.source, 0) + 1
+    rate = len(results) / elapsed if elapsed > 0 else float("inf")
+    print(f"served {len(results)} requests in {elapsed:.3f}s "
+          f"({rate:.0f} req/s)")
+    for source in ("memory", "disk", "tuned", "coalesced"):
+        if source in by_source:
+            print(f"  {source:<10} {by_source[source]}")
+    print(f"tuner invocations: {stats.get('serve.tunes', 0):.0f}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro.serve import ScheduleCache
+
+    cache = ScheduleCache(args.cache)
+    stats = cache.stats()
+    print(f"cache dir: {cache.path}")
+    print(f"entries:   {stats['serve.cache.entries']:.0f} "
+          f"({stats['serve.cache.bytes']:.0f} bytes)")
+    for path in cache.entries():
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+            print(f"  {doc['structural_hash'][:23]}… @ {doc['topology']}: "
+                  f"{doc['schedule_name']} "
+                  f"({doc['predicted_time'] * 1e6:.1f} us predicted)")
+        except (OSError, ValueError, KeyError):
+            print(f"  {path}: unreadable record")
+    return 0
+
+
+def _cmd_clear(args) -> int:
+    from repro.serve import ScheduleCache
+
+    removed = ScheduleCache(args.cache).clear()
+    print(f"removed {removed} cached schedule(s)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Serve tuned CoCoNet schedules from the persistent schedule "
+            "cache; tune misses on a bounded worker pool."
+        ),
+    )
+    parser.add_argument(
+        "--cache", default=None,
+        help="schedule cache directory (default "
+        "$REPRO_SCHEDULE_CACHE or ~/.cache/repro/schedules)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("tune", help="serve one request (tune on a miss)")
+    p.add_argument("--workload", required=True,
+                   help="adam | lamb | moe | attention")
+    p.add_argument(
+        "--set", action="append", metavar="NAME=VALUE",
+        help="workload shape parameter (repeatable), e.g. "
+        "--set num_elements=1048576 --set world_size=16",
+    )
+    p.add_argument("--dtype", default="FP16",
+                   help="tensor dtype (default FP16)")
+    p.add_argument("--nodes", type=int, default=1,
+                   help="cluster size in nodes (default 1)")
+    p.add_argument("--max-depth", type=int, default=3,
+                   help="autotuner BFS depth on a miss (default 3)")
+    p.add_argument("--workers", type=int, default=2,
+                   help="tuner worker processes (default 2)")
+    p.add_argument("--save", default=None,
+                   help="also save the served artifact to this path")
+    p.set_defaults(fn=_cmd_tune)
+
+    p = sub.add_parser(
+        "replay", help="submit a JSON list of requests concurrently"
+    )
+    p.add_argument("requests", help="path to a JSON list of request specs")
+    p.add_argument("--max-depth", type=int, default=3)
+    p.add_argument("--workers", type=int, default=2)
+    p.set_defaults(fn=_cmd_replay)
+
+    p = sub.add_parser("stats", help="cache contents and counters")
+    p.set_defaults(fn=_cmd_stats)
+
+    p = sub.add_parser("clear", help="delete every cached schedule")
+    p.set_defaults(fn=_cmd_clear)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except CoCoNetError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

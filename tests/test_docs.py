@@ -1,0 +1,117 @@
+"""The documentation tree stays wired to the repository.
+
+Every relative Markdown link in ``docs/``, ``README.md`` and
+``EXPERIMENTS.md`` must resolve to a real file or directory, and every
+``#fragment`` pointing into a Markdown file must match a heading there
+(GitHub's slug rules). A moved source file or renamed section fails
+the suite instead of silently rotting the docs.
+"""
+
+import os
+import re
+
+import pytest
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DOCS = os.path.join(ROOT, "docs")
+
+CHECKED = sorted(
+    [
+        os.path.join(DOCS, name)
+        for name in os.listdir(DOCS)
+        if name.endswith(".md")
+    ]
+    + [os.path.join(ROOT, "README.md"), os.path.join(ROOT, "EXPERIMENTS.md")]
+)
+
+# inline links: [text](target) — skipping images' extra ! is harmless
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*)$")
+_INLINE_LINK_TEXT = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+
+
+def links_of(path):
+    with open(path) as f:
+        text = f.read()
+    # fenced code blocks are not rendered as links
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    return [
+        (m.group(1), line_no)
+        for line_no, line in enumerate(text.splitlines(), 1)
+        for m in _LINK.finditer(line)
+    ]
+
+
+def github_slug(heading):
+    """GitHub's anchor for a heading line (base slug, no -N dedup)."""
+    text = _INLINE_LINK_TEXT.sub(r"\1", heading)  # linked headings
+    text = text.replace("`", "").strip().lower()
+    out = []
+    for ch in text:
+        if ch.isalnum() or ch in "-_":
+            out.append(ch)
+        elif ch == " ":
+            out.append("-")
+        # everything else (.,/():&§+…) is dropped
+    return "".join(out)
+
+
+def slugs_of(path):
+    with open(path) as f:
+        text = f.read()
+    text = re.sub(r"```.*?```", "", text, flags=re.S)
+    return {
+        github_slug(m.group(2))
+        for line in text.splitlines()
+        if (m := _HEADING.match(line))
+    }
+
+
+@pytest.mark.parametrize(
+    "doc", CHECKED, ids=[os.path.relpath(p, ROOT) for p in CHECKED]
+)
+def test_relative_links_resolve(doc):
+    problems = []
+    for target, line in links_of(doc):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        target, _, fragment = target.partition("#")
+        base = os.path.dirname(doc)
+        resolved = (
+            doc if not target else os.path.normpath(
+                os.path.join(base, target)
+            )
+        )
+        rel = os.path.relpath(doc, ROOT)
+        if not os.path.exists(resolved):
+            problems.append(f"{rel}:{line}: broken link -> {target}")
+            continue
+        if fragment and resolved.endswith(".md"):
+            if fragment not in slugs_of(resolved):
+                problems.append(
+                    f"{rel}:{line}: no heading "
+                    f"#{fragment} in {target or rel}"
+                )
+        if not os.path.commonpath(
+            [ROOT, os.path.abspath(resolved)]
+        ) == ROOT:
+            problems.append(f"{rel}:{line}: link escapes the repo")
+    assert not problems, "\n" + "\n".join(problems)
+
+
+def test_docs_tree_is_complete():
+    # the entry points the README advertises must exist
+    for name in ("index.md", "architecture.md", "serving.md"):
+        assert os.path.exists(os.path.join(DOCS, name))
+
+
+def test_architecture_mentions_every_stage():
+    # the walkthrough must keep covering the whole pipeline
+    with open(os.path.join(DOCS, "architecture.md")) as f:
+        text = f.read()
+    for needle in (
+        "repro.frontend", "transforms", "lower", "artifact",
+        "runtime", "spmd", "codegen", "nccl", "perf",
+        "autotuner", "observe", "serve",
+    ):
+        assert needle in text, f"architecture.md lost its {needle} stage"

@@ -1,0 +1,35 @@
+"""The public-API docstring examples actually run.
+
+Every module whose docs carry ``>>>`` examples is executed here with
+:mod:`doctest`, so the examples in the serving/artifact/autotuner/
+metrics docs are code the suite guarantees, not prose that can rot.
+(CI's docs job additionally runs ``pytest --doctest-modules`` over the
+same list.)
+"""
+
+import doctest
+
+import pytest
+
+import repro.cluster.topology
+import repro.core.artifact
+import repro.core.autotuner
+import repro.observe.metrics
+import repro.serve.cache
+import repro.serve.service
+
+MODULES = [
+    repro.cluster.topology,
+    repro.core.artifact,
+    repro.core.autotuner,
+    repro.observe.metrics,
+    repro.serve.cache,
+    repro.serve.service,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=[m.__name__ for m in MODULES])
+def test_module_doctests(module):
+    failures, tests = doctest.testmod(module, verbose=False)
+    assert tests > 0, f"{module.__name__} lost its docstring examples"
+    assert failures == 0
